@@ -1,0 +1,312 @@
+//! The calibrated area model.
+//!
+//! Calibration (all areas in µm², technology 0.13 µm):
+//!
+//! * The reference kernel instance (§5) has 8 channels × 2 queues × 8 words
+//!   × 32 bits = 4096 FIFO bits, 8 channels of control, an 8-slot STU and
+//!   4 ports, totalling 0.110 mm² = 110 000 µm².
+//! * Custom hardware FIFOs in 0.13 µm standard cells cost ≈ 18.8 µm²/bit
+//!   (flop + mux + control amortized) → 4096 bits ≈ 77 000 µm² (70 % of the
+//!   kernel, consistent with the paper's emphasis that the queues dominate
+//!   and motivated their custom FIFO design).
+//! * Per-channel control (Space/Credit counters, threshold comparators,
+//!   registers) ≈ 2 500 µm² → 20 000 µm².
+//! * STU ≈ 500 µm²/slot → 4 000 µm²; per-port logic ≈ 1 000 µm² → 4 000 µm².
+//! * The remainder — 5 000 µm² — is the shared packetizer, depacketizer and
+//!   scheduler.
+//!
+//! `77 005 + 20 000 + 4 000 + 4 000 + 4 995 = 110 000` (the anchor is kept
+//! exact by assigning the residual to the shared logic).
+
+use serde::{Deserialize, Serialize};
+
+/// µm² per FIFO bit (custom hardware FIFO, 0.13 µm).
+pub const FIFO_AREA_PER_BIT: f64 = 18.8;
+/// µm² per channel of control state.
+pub const CHANNEL_CTRL_AREA: f64 = 2_500.0;
+/// µm² per STU slot.
+pub const STU_AREA_PER_SLOT: f64 = 500.0;
+/// µm² per port (clock boundary + port mux).
+pub const PORT_AREA: f64 = 1_000.0;
+/// µm² of shared packetizer/depacketizer/scheduler logic (calibration
+/// residual keeping the reference kernel at exactly 0.110 mm²).
+pub const SHARED_LOGIC_AREA: f64 = 110_000.0
+    - (4096.0 * FIFO_AREA_PER_BIT
+        + 8.0 * CHANNEL_CTRL_AREA
+        + 8.0 * STU_AREA_PER_SLOT
+        + 4.0 * PORT_AREA);
+
+/// Word width of the Æthereal datapath.
+pub const WORD_BITS: usize = 32;
+
+/// Paper-anchored shell areas, µm².
+pub const NARROWCAST_SHELL_AREA: f64 = 4_000.0;
+/// Multi-connection shell (paper: 0.007 mm²).
+pub const MULTI_CONN_SHELL_AREA: f64 = 7_000.0;
+/// Simplified DTL master shell (paper: 0.005 mm²).
+pub const DTL_MASTER_SHELL_AREA: f64 = 5_000.0;
+/// Simplified DTL slave shell (paper: 0.002 mm²).
+pub const DTL_SLAVE_SHELL_AREA: f64 = 2_000.0;
+/// Configuration shell (paper: 0.01 mm²).
+pub const CONFIG_SHELL_AREA: f64 = 10_000.0;
+
+/// Router-side clock frequency of the prototype, MHz.
+pub const ROUTER_CLOCK_MHZ: f64 = 500.0;
+
+/// Link bandwidth toward the router at [`ROUTER_CLOCK_MHZ`], Gbit/s per
+/// direction (32 bit × 500 MHz = 16 Gbit/s, §5).
+pub const LINK_BANDWIDTH_GBIT: f64 = WORD_BITS as f64 * ROUTER_CLOCK_MHZ / 1_000.0;
+
+/// A shell instance attached to an NI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShellKind {
+    /// Narrowcast connection shell (Fig. 3).
+    Narrowcast,
+    /// Multi-connection shell (Fig. 4).
+    MultiConnection,
+    /// Simplified DTL master shell (Fig. 5).
+    DtlMaster,
+    /// Simplified DTL slave shell (Fig. 6).
+    DtlSlave,
+    /// Configuration shell (Fig. 8).
+    Config,
+}
+
+impl ShellKind {
+    /// Anchored area of the shell, µm².
+    pub fn area_um2(self) -> f64 {
+        match self {
+            ShellKind::Narrowcast => NARROWCAST_SHELL_AREA,
+            ShellKind::MultiConnection => MULTI_CONN_SHELL_AREA,
+            ShellKind::DtlMaster => DTL_MASTER_SHELL_AREA,
+            ShellKind::DtlSlave => DTL_SLAVE_SHELL_AREA,
+            ShellKind::Config => CONFIG_SHELL_AREA,
+        }
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShellKind::Narrowcast => "narrowcast shell",
+            ShellKind::MultiConnection => "multi-connection shell",
+            ShellKind::DtlMaster => "DTL master shell",
+            ShellKind::DtlSlave => "DTL slave shell",
+            ShellKind::Config => "config shell",
+        }
+    }
+}
+
+/// Parameters of an NI instance for area estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NiInstance {
+    /// Number of ports.
+    pub ports: usize,
+    /// Total channels across all ports.
+    pub channels: usize,
+    /// Queue depth per source/destination queue, words.
+    pub queue_words: usize,
+    /// STU slot-table size.
+    pub stu_slots: usize,
+    /// Attached shells.
+    pub shells: Vec<ShellKind>,
+}
+
+impl NiInstance {
+    /// The §5 reference instance: 4 ports with 1+1+2+4 channels, 8-word
+    /// queues, 8 slots, one config shell, two DTL masters (one offering
+    /// narrowcast), one DTL slave (multi-connection).
+    pub fn reference() -> Self {
+        NiInstance {
+            ports: 4,
+            channels: 8,
+            queue_words: 8,
+            stu_slots: 8,
+            shells: vec![
+                ShellKind::Config,
+                ShellKind::DtlMaster,
+                ShellKind::DtlMaster,
+                ShellKind::Narrowcast,
+                ShellKind::DtlSlave,
+                ShellKind::MultiConnection,
+            ],
+        }
+    }
+
+    /// Total FIFO bits (two queues per channel).
+    pub fn fifo_bits(&self) -> usize {
+        self.channels * 2 * self.queue_words * WORD_BITS
+    }
+}
+
+/// Itemized area estimate, µm².
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// FIFO storage.
+    pub fifos: f64,
+    /// Per-channel control.
+    pub channel_ctrl: f64,
+    /// Slot table unit.
+    pub stu: f64,
+    /// Per-port logic.
+    pub ports: f64,
+    /// Shared packetizer/depacketizer/scheduler.
+    pub shared: f64,
+    /// Shell areas, in instance order.
+    pub shells: Vec<(ShellKind, f64)>,
+}
+
+impl AreaBreakdown {
+    /// Kernel area (everything except shells), µm².
+    pub fn kernel_um2(&self) -> f64 {
+        self.fifos + self.channel_ctrl + self.stu + self.ports + self.shared
+    }
+
+    /// Total NI area, µm².
+    pub fn total_um2(&self) -> f64 {
+        self.kernel_um2() + self.shells.iter().map(|(_, a)| a).sum::<f64>()
+    }
+
+    /// Kernel area in mm².
+    pub fn kernel_mm2(&self) -> f64 {
+        self.kernel_um2() / 1e6
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1e6
+    }
+}
+
+/// The calibrated area/frequency model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaModel;
+
+impl AreaModel {
+    /// Creates the model (stateless; coefficients are compile-time
+    /// calibration constants).
+    pub fn new() -> Self {
+        AreaModel
+    }
+
+    /// Estimates the itemized area of an NI instance.
+    pub fn estimate(&self, ni: &NiInstance) -> AreaBreakdown {
+        AreaBreakdown {
+            fifos: ni.fifo_bits() as f64 * FIFO_AREA_PER_BIT,
+            channel_ctrl: ni.channels as f64 * CHANNEL_CTRL_AREA,
+            stu: ni.stu_slots as f64 * STU_AREA_PER_SLOT,
+            ports: ni.ports as f64 * PORT_AREA,
+            shared: SHARED_LOGIC_AREA,
+            shells: ni.shells.iter().map(|&s| (s, s.area_um2())).collect(),
+        }
+    }
+
+    /// Achievable router-side clock, MHz: the arbitration tree grows with
+    /// the channel count; beyond the 8-channel reference each doubling costs
+    /// ≈ 4 % of frequency (one extra mux level in the grant path).
+    pub fn frequency_mhz(&self, ni: &NiInstance) -> f64 {
+        let levels = (ni.channels.max(1) as f64).log2() - 3.0; // 8 channels = reference
+        ROUTER_CLOCK_MHZ / (1.0 + 0.04 * levels.max(0.0))
+    }
+
+    /// Link bandwidth toward the router at the achievable clock, Gbit/s per
+    /// direction.
+    pub fn bandwidth_gbit(&self, ni: &NiInstance) -> f64 {
+        WORD_BITS as f64 * self.frequency_mhz(ni) / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_kernel_matches_paper_exactly() {
+        let model = AreaModel::new();
+        let b = model.estimate(&NiInstance::reference());
+        assert!(
+            (b.kernel_mm2() - 0.110).abs() < 1e-9,
+            "kernel anchor: got {}",
+            b.kernel_mm2()
+        );
+    }
+
+    #[test]
+    fn reference_total_matches_paper_total() {
+        // 0.11 + 0.01 + 2*0.005 + 0.004 + 0.002 + 0.007 = 0.143 mm².
+        let model = AreaModel::new();
+        let b = model.estimate(&NiInstance::reference());
+        assert!(
+            (b.total_mm2() - 0.143).abs() < 1e-9,
+            "total anchor: got {}",
+            b.total_mm2()
+        );
+    }
+
+    #[test]
+    fn shell_areas_match_paper() {
+        assert_eq!(ShellKind::Narrowcast.area_um2(), 4_000.0);
+        assert_eq!(ShellKind::MultiConnection.area_um2(), 7_000.0);
+        assert_eq!(ShellKind::DtlMaster.area_um2(), 5_000.0);
+        assert_eq!(ShellKind::DtlSlave.area_um2(), 2_000.0);
+        assert_eq!(ShellKind::Config.area_um2(), 10_000.0);
+    }
+
+    #[test]
+    fn shell_percentages_match_paper() {
+        // Paper: narrowcast 4 %, multi-connection 6 % of the kernel area
+        // (rounded); DTL master 5 %, slave 2 %.
+        let kernel = 110_000.0;
+        assert_eq!((NARROWCAST_SHELL_AREA / kernel * 100.0).round(), 4.0);
+        assert_eq!((MULTI_CONN_SHELL_AREA / kernel * 100.0).round(), 6.0);
+        assert_eq!((DTL_MASTER_SHELL_AREA / kernel * 100.0).round(), 5.0);
+        assert_eq!((DTL_SLAVE_SHELL_AREA / kernel * 100.0).round(), 2.0);
+    }
+
+    #[test]
+    fn bandwidth_is_16_gbit_at_reference() {
+        let model = AreaModel::new();
+        let ni = NiInstance::reference();
+        assert!((model.frequency_mhz(&ni) - 500.0).abs() < 1e-9);
+        assert!((model.bandwidth_gbit(&ni) - 16.0).abs() < 1e-9);
+        assert!((LINK_BANDWIDTH_GBIT - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_monotonically() {
+        let model = AreaModel::new();
+        let mut ni = NiInstance::reference();
+        let base = model.estimate(&ni).total_um2();
+        ni.queue_words = 16;
+        let deeper = model.estimate(&ni).total_um2();
+        assert!(deeper > base);
+        ni.channels = 16;
+        let wider = model.estimate(&ni).total_um2();
+        assert!(wider > deeper);
+    }
+
+    #[test]
+    fn frequency_degrades_with_channels() {
+        let model = AreaModel::new();
+        let mut ni = NiInstance::reference();
+        ni.channels = 32;
+        assert!(model.frequency_mhz(&ni) < 500.0);
+        ni.channels = 2;
+        assert!(
+            (model.frequency_mhz(&ni) - 500.0).abs() < 1e-9,
+            "small stays at 500"
+        );
+    }
+
+    #[test]
+    fn fifo_bits_computation() {
+        assert_eq!(NiInstance::reference().fifo_bits(), 4096);
+    }
+
+    #[test]
+    fn shared_logic_residual_positive() {
+        // Read through a function call so the check exercises runtime
+        // arithmetic rather than a constant the compiler folds away.
+        let b = AreaModel::new().estimate(&NiInstance::reference());
+        assert!(b.shared > 0.0, "calibration sanity: {}", b.shared);
+    }
+}

@@ -1,0 +1,100 @@
+//! The software-protocol-stack baseline.
+//!
+//! §5 of the paper: *"The latency overhead of a software implementation of
+//! the protocol is much larger (e.g., 47 instructions for packetization
+//! only [Bhojwani & Mahapatra, VLSI Design 2003])"*, against the hardware
+//! NI's 4–10 pipelined cycles.
+//!
+//! We model the software path as an instruction-count budget executed on an
+//! embedded RISC core: a fixed per-packet setup (header assembly, queue
+//! management, descriptor bookkeeping) plus a per-word copy cost, with the
+//! per-packet component calibrated so that the reference packet of the
+//! cited work costs exactly 47 instructions.
+
+use serde::{Deserialize, Serialize};
+
+/// Lower bound of the hardware NI latency overhead, cycles (§5).
+pub const HW_NI_LATENCY_MIN: u64 = 4;
+/// Upper bound of the hardware NI latency overhead, cycles (§5).
+pub const HW_NI_LATENCY_MAX: u64 = 10;
+
+/// Instruction budget model of software packetization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwStackModel {
+    /// Instructions per packet independent of length (header assembly,
+    /// routing lookup, queue pointers).
+    pub per_packet_instructions: u64,
+    /// Instructions per payload word (load/store/update/branch of the copy
+    /// loop).
+    pub per_word_instructions: u64,
+    /// Average cycles per instruction of the embedded core.
+    pub cpi: f64,
+}
+
+impl SwStackModel {
+    /// The calibrated model: the cited 47 instructions correspond to
+    /// packetizing one reference 4-word payload — 31 fixed + 4 × 4 copy
+    /// instructions.
+    pub fn calibrated() -> Self {
+        SwStackModel {
+            per_packet_instructions: 31,
+            per_word_instructions: 4,
+            cpi: 1.3,
+        }
+    }
+
+    /// Instructions to packetize one packet of `payload_words`.
+    pub fn instructions(&self, payload_words: u64) -> u64 {
+        self.per_packet_instructions + self.per_word_instructions * payload_words
+    }
+
+    /// Cycles to packetize one packet of `payload_words`.
+    pub fn cycles(&self, payload_words: u64) -> u64 {
+        (self.instructions(payload_words) as f64 * self.cpi).round() as u64
+    }
+
+    /// Software-to-hardware latency ratio for a packet of `payload_words`
+    /// against a hardware latency of `hw_cycles`.
+    pub fn slowdown(&self, payload_words: u64, hw_cycles: u64) -> f64 {
+        self.cycles(payload_words) as f64 / hw_cycles.max(1) as f64
+    }
+}
+
+impl Default for SwStackModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_47_instructions() {
+        let m = SwStackModel::calibrated();
+        assert_eq!(m.instructions(4), 47);
+    }
+
+    #[test]
+    fn instructions_grow_with_payload() {
+        let m = SwStackModel::calibrated();
+        assert!(m.instructions(8) > m.instructions(4));
+        assert_eq!(m.instructions(0), 31);
+    }
+
+    #[test]
+    fn cycles_apply_cpi() {
+        let m = SwStackModel::calibrated();
+        assert_eq!(m.cycles(4), (47.0_f64 * 1.3).round() as u64);
+    }
+
+    #[test]
+    fn software_is_much_slower_than_hardware() {
+        let m = SwStackModel::calibrated();
+        // Even against the worst-case hardware latency the software stack
+        // is several times slower — the paper's qualitative claim.
+        assert!(m.slowdown(4, HW_NI_LATENCY_MAX) > 4.0);
+        assert!(m.slowdown(4, HW_NI_LATENCY_MIN) > 10.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! E10 — §4.1 arbitration ablation: the paper lists round-robin, weighted
+//! round-robin and queue-filling-based arbitration as the configurable BE
+//! schemes. Three saturating streams share one NI's router link under each
+//! policy; the per-channel share shows the policy's character:
+//!
+//! * round-robin — equal shares;
+//! * weighted round-robin (4:2:1) — proportional shares;
+//! * queue-fill — always drains the fullest queue, maximizing packet
+//!   length (lowest header overhead) while self-balancing under symmetric
+//!   saturation.
+
+use aethereal_bench::table::f3;
+use aethereal_bench::Table;
+use aethereal_cfg::runtime::{ChannelEnd, ConnectionRequest};
+use aethereal_cfg::{presets, NocSpec, NocSystem, RuntimeConfigurator, TopologySpec};
+use aethereal_ni::kernel::{ArbPolicy, PortSpec};
+use aethereal_ni::ni::{NiSpec, PortStackSpec};
+use aethereal_proto::StreamSource;
+
+/// Source NI: CNIP + one raw port with three channels, with the given BE
+/// arbitration policy.
+fn source_ni(policy: ArbPolicy) -> NiSpec {
+    let mut spec = presets::raw_ni(1, 3);
+    spec.kernel.arb = policy;
+    // Deeper source queues make the queue-fill policy's bias visible.
+    spec.kernel.ports[1] = PortSpec {
+        channels: 3,
+        queue_words: 16,
+        ..PortSpec::default()
+    };
+    assert!(matches!(spec.stacks[1], PortStackSpec::Raw));
+    spec
+}
+
+fn run(policy: ArbPolicy) -> ([u64; 3], f64) {
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 2,
+            height: 1,
+            nis_per_router: 2,
+        },
+        vec![
+            presets::cfg_module_ni(0, 8),
+            source_ni(policy),
+            presets::raw_ni(2, 3),
+            presets::slave_ni(3),
+        ],
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, 8);
+    for ch in 1..=3usize {
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest::best_effort(
+                ChannelEnd { ni: 1, channel: ch },
+                ChannelEnd { ni: 2, channel: ch },
+            ),
+        )
+        .expect("leg opens");
+    }
+    for ch in 1..=3usize {
+        sys.bind_raw(1, 1, vec![ch], Box::new(StreamSource::counting(u64::MAX)));
+        // Sinks drain at line rate.
+        sys.bind_raw(2, 1, vec![ch], Box::new(DrainSink));
+    }
+    sys.run(30_000);
+    let mut out = [0u64; 3];
+    let mut words = 0u64;
+    let mut packets = 0u64;
+    for ch in 1..=3usize {
+        let st = *sys.nis[1].kernel.channel(ch).stats();
+        out[ch - 1] = st.words_tx;
+        words += st.words_tx;
+        packets += st.packets_tx - st.credit_only_tx;
+    }
+    assert_eq!(sys.noc.be_overflows(), 0);
+    (out, words as f64 / packets.max(1) as f64)
+}
+
+/// A sink that just pops (keeps credits flowing) without storing.
+struct DrainSink;
+
+impl aethereal_proto::RawIp for DrainSink {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(
+        &mut self,
+        kernel: &mut aethereal_ni::NiKernel,
+        channels: &[aethereal_ni::ChannelId],
+        now: u64,
+    ) {
+        let _ = kernel.pop_dst(channels[0], now);
+    }
+}
+
+fn main() {
+    let policies: [(&str, ArbPolicy); 3] = [
+        ("round-robin", ArbPolicy::RoundRobin),
+        (
+            "weighted RR 4:2:1",
+            ArbPolicy::WeightedRoundRobin(vec![1, 4, 2, 1]), // channel ids 1..3
+        ),
+        ("queue-fill", ArbPolicy::QueueFill),
+    ];
+    let mut t = Table::new(&[
+        "policy",
+        "ch1 words",
+        "ch2 words",
+        "ch3 words",
+        "share ch1",
+        "share ch2",
+        "share ch3",
+        "avg pkt payload",
+    ]);
+    let mut rr_payload = 0.0;
+    for (name, policy) in policies {
+        let (w, avg_payload) = run(policy.clone());
+        let total: u64 = w.iter().sum();
+        t.row(&[
+            name.into(),
+            w[0].to_string(),
+            w[1].to_string(),
+            w[2].to_string(),
+            f3(w[0] as f64 / total as f64),
+            f3(w[1] as f64 / total as f64),
+            f3(w[2] as f64 / total as f64),
+            f3(avg_payload),
+        ]);
+        match policy {
+            ArbPolicy::RoundRobin => {
+                rr_payload = avg_payload;
+                for &wk in &w {
+                    let share = wk as f64 / total as f64;
+                    assert!((share - 1.0 / 3.0).abs() < 0.05, "RR share {share}");
+                }
+            }
+            ArbPolicy::WeightedRoundRobin(_) => {
+                // Weighting is per *grant*; rarely-served channels
+                // accumulate more data and send longer packets, so the
+                // word-level ratio compresses below the 4:1 grant ratio.
+                assert!(
+                    w[0] > w[1] && w[1] > w[2],
+                    "WRR must order by weight: {w:?}"
+                );
+                let r = w[0] as f64 / w[2] as f64;
+                assert!(
+                    (1.5..=6.0).contains(&r),
+                    "4:1 grant weighting, word ratio ≈ {r}"
+                );
+            }
+            ArbPolicy::QueueFill => {
+                // The fill-based policy's signature is packet length: it
+                // always drains the fullest queue, so its packets are at
+                // least as long as round-robin's.
+                assert!(
+                    avg_payload >= rr_payload - 1e-9,
+                    "queue-fill packets ({avg_payload}) must not be shorter than RR ({rr_payload})"
+                );
+            }
+        }
+    }
+    t.print("E10 — BE arbitration policies under three saturating channels (§4.1)");
+    println!(
+        "\nshape: RR equalizes; WRR orders throughput by weight (per-grant weighting, \
+         word-ratios compressed by adaptive packet sizes); queue-fill trades \
+         fairness for longer packets — why the paper leaves the scheme configurable."
+    );
+}

@@ -1,0 +1,120 @@
+//! E5 — §3/§4.3 network configuration: the cost of opening connections
+//! through the NoC itself (Fig. 9), and the centralized-vs-distributed
+//! trade-off the paper discusses.
+//!
+//! Reported:
+//! * E5a — the exact Fig. 9 accounting: register writes (5 at the master
+//!   NI, 3 at the slave NI per channel pair), configuration messages, and
+//!   measured cycles, on the live simulator;
+//! * E5b — configuration latency vs NoC size (the paper's claim that
+//!   centralized configuration "is able to satisfy the needs of a small
+//!   NoC (around 10 routers)");
+//! * E5c — centralized vs distributed cost model: wall-clock parallelism vs
+//!   conflict retries (§3).
+
+use aethereal_bench::{master_slave_system, Table};
+use aethereal_cfg::distributed::{DistRequest, DistributedModel};
+use noc_sim::Topology;
+
+fn main() {
+    // ---- E5a: Fig. 9 accounting on the live system -------------------------
+    let (_sys, cfg, _slave) = master_slave_system(2, 2);
+    let s = *cfg.stats();
+    let mut t = Table::new(&["quantity", "measured", "paper / expected"]);
+    t.row(&[
+        "config connections opened (steps 1-2)".into(),
+        s.config_connections_opened.to_string(),
+        "2 (to master NI and slave NI)".into(),
+    ]);
+    t.row(&[
+        "register writes, user connection".into(),
+        (s.reg_writes - 12).to_string(),
+        "5 at master NI + 3 at slave NI = 8".into(),
+    ]);
+    t.row(&[
+        "register writes, total".into(),
+        s.reg_writes.to_string(),
+        "2×(3 local + 3 remote) + 8 = 20".into(),
+    ]);
+    t.row(&[
+        "writes that crossed the NoC".into(),
+        s.remote_writes.to_string(),
+        "total − 6 local".into(),
+    ]);
+    t.row(&[
+        "config messages (incl. acks)".into(),
+        s.config_messages.to_string(),
+        "one per remote write + one per ack".into(),
+    ]);
+    t.row(&[
+        "cycles waiting for acks".into(),
+        s.cycles_waited.to_string(),
+        "(opening connections takes time, §2)".into(),
+    ]);
+    t.print("E5a — Fig. 9 connection setup through the NoC (2×2 mesh)");
+    assert_eq!(s.reg_writes, 20);
+    assert_eq!(s.config_connections_opened, 2);
+
+    // ---- E5b: configuration latency vs NoC size -----------------------------
+    let mut t = Table::new(&["mesh", "routers", "reg writes", "messages", "cycles"]);
+    for (w, h) in [(1usize, 2usize), (2, 2), (3, 2), (3, 3), (4, 4)] {
+        let (_sys, cfg, _slave) = master_slave_system(w, h);
+        let s = cfg.stats();
+        t.row(&[
+            format!("{w}x{h}"),
+            (w * h).to_string(),
+            s.reg_writes.to_string(),
+            s.config_messages.to_string(),
+            s.cycles_waited.to_string(),
+        ]);
+    }
+    t.print("E5b — cost of opening one connection vs NoC size (centralized, live)");
+
+    // ---- E5c: centralized vs distributed model (§3) -------------------------
+    let topo = Topology::mesh(3, 3, 1);
+    let model = DistributedModel::new(topo, 8);
+    let mut t = Table::new(&[
+        "requests",
+        "scheme",
+        "cycles",
+        "messages",
+        "conflicts",
+        "failures",
+    ]);
+    for &n in &[4usize, 8, 16, 24] {
+        let reqs: Vec<DistRequest> = (0..n)
+            .map(|i| DistRequest {
+                from: i % 9,
+                to: (i * 5 + 4) % 9,
+                slots: 1,
+            })
+            .filter(|r| r.from != r.to)
+            .collect();
+        let c = model.run_centralized(0, &reqs);
+        t.row(&[
+            reqs.len().to_string(),
+            "centralized".into(),
+            c.cycles.to_string(),
+            c.messages.to_string(),
+            c.conflicts.to_string(),
+            c.failures.to_string(),
+        ]);
+        for ports in [1usize, 2, 4] {
+            let d = model.run_distributed(ports, &reqs);
+            t.row(&[
+                reqs.len().to_string(),
+                format!("distributed×{ports}"),
+                d.cycles.to_string(),
+                d.messages.to_string(),
+                d.conflicts.to_string(),
+                d.failures.to_string(),
+            ]);
+        }
+    }
+    t.print("E5c — centralized vs distributed configuration (3×3 mesh, cost model)");
+    println!(
+        "\nshape (§3): centralized is simple and conflict-free — adequate for small \
+         NoCs; distributed parallelizes over ports but pays conflict retries, and \
+         becomes attractive only as the NoC and request count grow."
+    );
+}

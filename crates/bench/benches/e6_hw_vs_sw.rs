@@ -1,0 +1,82 @@
+//! E6 — §5 hardware vs software protocol stack: the paper's closing
+//! comparison. The hardware NI adds 4–10 pipelined cycles; a software
+//! implementation costs ≈ 47 instructions *for packetization alone*
+//! (Bhojwani & Mahapatra, cited as [4]).
+//!
+//! The hardware side is **measured** on the simulator (word pushed into a
+//! source queue → packet header on the link); the software side uses the
+//! calibrated instruction-budget model.
+
+use aethereal_area::{SwStackModel, HW_NI_LATENCY_MAX, HW_NI_LATENCY_MIN};
+use aethereal_bench::table::f1;
+use aethereal_bench::{stream_system, StreamSetup, Table};
+use aethereal_cfg::SlotStrategy;
+
+/// Measures hardware packetization latency: push `payload` words, count
+/// cycles until the packet's last word has left the NI (source queue empty
+/// and packet on the wire).
+fn hw_packetize_cycles(payload: usize) -> u64 {
+    let (mut sys, _cfg) = stream_system(StreamSetup {
+        gt_slots: Some(8),
+        strategy: SlotStrategy::Consecutive,
+        queue_words: 32,
+        ..Default::default()
+    });
+    let t0 = sys.cycle();
+    for i in 0..payload {
+        sys.nis[1]
+            .kernel
+            .push_src(1, i as u32, t0)
+            .expect("queue has room");
+    }
+    for _ in 0..500 {
+        sys.tick();
+        let sent = sys.nis[1].kernel.channel(1).stats().words_tx;
+        if sent as usize >= payload {
+            return sys.cycle() - t0;
+        }
+    }
+    panic!("packet never left");
+}
+
+fn main() {
+    let sw = SwStackModel::calibrated();
+    println!(
+        "paper §5: hardware NI overhead {HW_NI_LATENCY_MIN}-{HW_NI_LATENCY_MAX} cycles; \
+         software packetization alone = 47 instructions [4]"
+    );
+    assert_eq!(sw.instructions(4), 47, "software model calibration");
+
+    let mut t = Table::new(&[
+        "payload words",
+        "HW measured (cy)",
+        "SW instructions",
+        "SW cycles (CPI 1.3)",
+        "SW/HW slowdown",
+    ]);
+    for &payload in &[1usize, 2, 4, 8, 16] {
+        let hw = hw_packetize_cycles(payload);
+        let instr = sw.instructions(payload as u64);
+        let sw_cy = sw.cycles(payload as u64);
+        t.row(&[
+            payload.to_string(),
+            hw.to_string(),
+            instr.to_string(),
+            sw_cy.to_string(),
+            f1(sw_cy as f64 / hw as f64),
+        ]);
+        assert!(
+            sw_cy > 2 * hw,
+            "software must be several times slower (payload {payload}: {sw_cy} vs {hw})"
+        );
+    }
+    t.print("E6 — hardware (measured) vs software (modeled) packetization");
+
+    println!(
+        "\nshape: the hardware stack stays within ~{HW_NI_LATENCY_MIN}–{} cycles \
+         of per-word streaming cost while the software stack starts at 31 \
+         instructions before the first word moves — the paper's argument for a \
+         full hardware protocol stack.",
+        HW_NI_LATENCY_MAX + 16
+    );
+}

@@ -1,0 +1,118 @@
+//! E7 — §4.1 threshold mechanism: "to optimize the NoC utilization, it is
+//! preferable to send longer packets… a configurable threshold mechanism
+//! skips a channel as long as the sendable data is below the threshold",
+//! with the **flush** signal overriding the threshold to prevent
+//! starvation.
+//!
+//! A paced source (one word every few cycles) streams over a BE connection
+//! while the data threshold sweeps 0..8: higher thresholds batch words into
+//! longer packets (fewer header words per payload word) at the price of
+//! delivery latency. A final experiment parks one word below a high
+//! threshold and shows the flush pushing it through.
+
+use aethereal_bench::table::f3;
+use aethereal_bench::{stream_system, StreamSetup, Table};
+use aethereal_ni::kernel::{ChannelId, NiKernel};
+use aethereal_proto::RawIp;
+
+/// A source producing one word every `period` port cycles.
+struct PacedSource {
+    period: u64,
+    produced: u64,
+}
+
+impl RawIp for PacedSource {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn tick(&mut self, kernel: &mut NiKernel, channels: &[ChannelId], now: u64) {
+        if now.is_multiple_of(self.period) && kernel.src_space(channels[0]) > 0 {
+            kernel
+                .push_src(channels[0], self.produced as u32, now)
+                .expect("space checked");
+            self.produced += 1;
+        }
+    }
+}
+
+fn run_threshold(threshold: u32) -> (f64, f64, u64) {
+    let (mut sys, _cfg) = stream_system(StreamSetup {
+        data_threshold: threshold,
+        ..Default::default()
+    });
+    sys.bind_raw(
+        1,
+        1,
+        vec![1],
+        Box::new(PacedSource {
+            period: 6,
+            produced: 0,
+        }),
+    );
+    sys.run(30_000);
+    let st = sys.nis[1].kernel.channel(1).stats();
+    let data_packets = st.packets_tx - st.credit_only_tx;
+    let avg_payload = if data_packets > 0 {
+        st.words_tx as f64 / data_packets as f64
+    } else {
+        0.0
+    };
+    // Header overhead of the data path: one header word per data packet.
+    let overhead = if st.words_tx > 0 {
+        data_packets as f64 / (st.words_tx + data_packets) as f64
+    } else {
+        1.0
+    };
+    // Latency proxy: words still parked in the source queue at the end.
+    let parked = sys.nis[1].kernel.channel(1).src_level() as u64;
+    (avg_payload, overhead, parked)
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "data threshold",
+        "avg packet payload (w)",
+        "header overhead",
+        "words parked at end",
+    ]);
+    let mut last_payload = 0.0;
+    for threshold in [0u32, 1, 2, 4, 6, 8] {
+        let (avg_payload, overhead, parked) = run_threshold(threshold);
+        t.row(&[
+            threshold.to_string(),
+            f3(avg_payload),
+            f3(overhead),
+            parked.to_string(),
+        ]);
+        assert!(
+            avg_payload + 1e-9 >= last_payload,
+            "packets must get longer with the threshold"
+        );
+        last_payload = avg_payload;
+    }
+    t.print("E7a — data threshold sweep (paced source, 1 word / 6 cycles)");
+    println!(
+        "shape (§4.1): longer packets and lower header overhead as the threshold \
+         grows; buffered words wait longer (the starvation risk the flush solves)."
+    );
+
+    // ---- Flush demonstration ------------------------------------------------
+    let (mut sys, _cfg) = stream_system(StreamSetup {
+        data_threshold: 8,
+        ..Default::default()
+    });
+    sys.nis[1].kernel.push_src(1, 0xFEED, 0).expect("room");
+    sys.run(2_000);
+    let stuck = sys.nis[2].kernel.dst_level(1, sys.cycle());
+    assert_eq!(stuck, 0, "below threshold: the word must be held back");
+    sys.nis[1].kernel.flush(1);
+    sys.run(200);
+    let delivered = sys.nis[2].kernel.dst_level(1, sys.cycle());
+    assert_eq!(delivered, 1, "flush must push the word through");
+    println!(
+        "\nE7b — flush override: word below threshold held for 2000 cycles, \
+         delivered {delivered} word within 200 cycles of the flush signal \
+         (threshold bypass, §4.1)."
+    );
+}

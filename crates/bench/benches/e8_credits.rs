@@ -1,0 +1,97 @@
+//! E8 — §4.1 end-to-end flow control: credits piggyback on reverse packets;
+//! when no reverse data exists they travel as credit-only packets whose
+//! bandwidth cost the **credit threshold** bounds; and the destination
+//! buffer can never overflow (checked as a hard invariant).
+//!
+//! A unidirectional stream forces all credits onto dedicated packets; the
+//! credit threshold sweep shows the §4.1 batching effect. A bidirectional
+//! run then shows piggybacking eliminating almost all credit-only packets.
+
+use aethereal_bench::table::f3;
+use aethereal_bench::{stream_system, StreamSetup, Table};
+use aethereal_proto::{StreamSink, StreamSource};
+
+struct Outcome {
+    delivered: usize,
+    credit_only: u64,
+    reverse_headers: u64,
+}
+
+fn run_unidirectional(credit_threshold: u32) -> Outcome {
+    let (mut sys, _cfg) = stream_system(StreamSetup {
+        credit_threshold,
+        ..Default::default()
+    });
+    sys.bind_raw(1, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+    let sink = sys.bind_raw(2, 1, vec![1], Box::new(StreamSink::new()));
+    sys.run(20_000);
+    let st = sys.nis[2].kernel.channel(1).stats();
+    assert_eq!(
+        sys.noc.be_overflows(),
+        0,
+        "credit discipline must prevent overflow"
+    );
+    Outcome {
+        delivered: sys.raw_ip_as::<StreamSink>(sink).received().len(),
+        credit_only: st.credit_only_tx,
+        reverse_headers: st.packets_tx,
+    }
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "credit threshold",
+        "words delivered",
+        "credit-only packets",
+        "reverse words / delivered word",
+    ]);
+    let mut last_credit_only = u64::MAX;
+    for threshold in [1u32, 2, 4, 8] {
+        let o = run_unidirectional(threshold);
+        t.row(&[
+            threshold.to_string(),
+            o.delivered.to_string(),
+            o.credit_only.to_string(),
+            f3(o.reverse_headers as f64 / o.delivered.max(1) as f64),
+        ]);
+        assert!(
+            o.credit_only <= last_credit_only,
+            "higher credit threshold must not increase credit packets"
+        );
+        last_credit_only = o.credit_only;
+        assert!(o.delivered > 1_000, "stream must make progress");
+    }
+    t.print("E8a — credit threshold vs credit-only packet overhead (unidirectional)");
+    println!(
+        "shape (§4.1): raising the credit threshold batches credits into fewer \
+         credit-only packets, reclaiming reverse-link bandwidth."
+    );
+
+    // ---- Piggybacking: bidirectional traffic -------------------------------
+    // Reverse data on the same channel pair gives the credits a free ride.
+    let (mut sys, _cfg) = stream_system(StreamSetup {
+        credit_threshold: 31,
+        ..Default::default()
+    });
+    sys.bind_raw(1, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+    let sink = sys.bind_raw(2, 1, vec![1], Box::new(StreamSink::new()));
+    // Make the sink side also produce data back to NI1 on the same channel.
+    sys.bind_raw(2, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+    let back = sys.bind_raw(1, 1, vec![1], Box::new(StreamSink::new()));
+    sys.run(20_000);
+    let st2 = sys.nis[2].kernel.channel(1).stats();
+    let fwd = sys.raw_ip_as::<StreamSink>(sink).received().len();
+    let rev = sys.raw_ip_as::<StreamSink>(back).received().len();
+    println!(
+        "\nE8b — piggybacking: bidirectional stream delivered {fwd} fwd / {rev} rev words; \
+         sink-side credit-only packets: {} (credits ride on data packets); \
+         credits piggybacked: {}",
+        st2.credit_only_tx, st2.credits_tx
+    );
+    assert!(rev > 1_000, "reverse data flows");
+    assert!(
+        st2.credit_only_tx < 5,
+        "piggybacking should eliminate almost all credit-only packets"
+    );
+    assert_eq!(sys.noc.be_overflows(), 0);
+}

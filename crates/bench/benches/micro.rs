@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: FIFO
+//! operations, header packing, routing, router datapath, slot allocation
+//! and whole-system ticks. These quantify the *simulator's* performance
+//! (not the paper's hardware) and guard against regressions.
+
+use aethereal_bench::{master_slave_system, stream_system, StreamSetup};
+use aethereal_cfg::{SlotAllocator, SlotStrategy};
+use aethereal_ni::fifo::HwFifo;
+use aethereal_proto::StreamSource;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use noc_sim::{LinkWord, Noc, PacketHeader, Path, Topology, WordClass};
+
+fn bench_fifo(c: &mut Criterion) {
+    c.bench_function("fifo_push_pop", |b| {
+        let mut f = HwFifo::new(64, 2);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            if f.push(black_box(now as u32), now).is_err() {
+                while f.pop(now + 2).is_some() {}
+            }
+            black_box(f.sync_level(now));
+        });
+    });
+}
+
+fn bench_header(c: &mut Criterion) {
+    let h = PacketHeader {
+        path: Path::new(&[1, 2, 3, 4]).expect("valid"),
+        qid: 7,
+        credits: 13,
+        flush: true,
+    };
+    c.bench_function("header_pack_unpack", |b| {
+        b.iter(|| {
+            let w = black_box(&h).pack();
+            black_box(PacketHeader::unpack(w));
+        });
+    });
+    c.bench_function("path_shift", |b| {
+        let w = h.pack();
+        b.iter(|| black_box(Path::shift_header(black_box(w))));
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::mesh(4, 4, 1);
+    c.bench_function("xy_route_4x4", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 16;
+            black_box(topo.route(black_box(i), black_box(15 - i)).expect("route"));
+        });
+    });
+}
+
+fn bench_router_datapath(c: &mut Criterion) {
+    c.bench_function("noc_tick_idle_4x4", |b| {
+        let topo = Topology::mesh(4, 4, 1);
+        let mut noc = Noc::new(&topo);
+        b.iter(|| noc.tick());
+    });
+    c.bench_function("noc_tick_loaded_2x2", |b| {
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let path = topo.route(0, 3).expect("route");
+        let header = PacketHeader {
+            path,
+            qid: 0,
+            credits: 0,
+            flush: false,
+        };
+        b.iter(|| {
+            let link = noc.ni_link_mut(0);
+            if !link.is_busy() && link.be_credits() > 0 {
+                link.send(LinkWord::header_only(header.pack(), WordClass::BestEffort));
+            }
+            noc.tick();
+            while noc.ni_link_mut(3).recv().is_some() {}
+        });
+    });
+}
+
+fn bench_slot_allocator(c: &mut Criterion) {
+    let topo = Topology::mesh(4, 4, 1);
+    let path = topo.route(0, 15).expect("route");
+    c.bench_function("slot_allocate_free", |b| {
+        let mut alloc = SlotAllocator::new(16);
+        b.iter(|| {
+            let a = alloc
+                .allocate(&topo, 0, &path, 4, SlotStrategy::Spread)
+                .expect("slots available");
+            alloc.free(black_box(&a));
+        });
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    c.bench_function("system_tick_streaming", |b| {
+        let (mut sys, _cfg) = stream_system(StreamSetup {
+            gt_slots: Some(4),
+            ..Default::default()
+        });
+        sys.bind_raw(1, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+        b.iter(|| sys.tick());
+    });
+    c.bench_function("system_build_and_configure_2x2", |b| {
+        b.iter(|| {
+            let (sys, cfg, _slave) = master_slave_system(2, 2);
+            black_box((sys.cycle(), cfg.stats().reg_writes));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fifo,
+    bench_header,
+    bench_routing,
+    bench_router_datapath,
+    bench_slot_allocator,
+    bench_full_system
+);
+criterion_main!(benches);

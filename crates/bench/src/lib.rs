@@ -1,0 +1,17 @@
+//! # aethereal-bench — harness utilities for regenerating the paper's
+//! evaluation
+//!
+//! Each `benches/eN_*.rs` target (run via `cargo bench`) regenerates one
+//! table or figure of the DATE 2004 paper; see `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results. This library holds the shared pieces: aligned table printing
+//! and canonical system builders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+pub mod table;
+
+pub use scenarios::{master_slave_system, stream_system, StreamSetup};
+pub use table::Table;

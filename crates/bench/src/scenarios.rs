@@ -1,0 +1,152 @@
+//! Canonical systems used by several benches.
+
+use aethereal_cfg::runtime::{ChannelEnd, ConnectionRequest, Service};
+use aethereal_cfg::{presets, NocSpec, NocSystem, RuntimeConfigurator, SlotStrategy, TopologySpec};
+
+/// Builds the canonical master/slave system on a `width × height` mesh with
+/// two NIs per router — cfg module on NI 0, a master on NI 1, slaves on the
+/// remaining attachments — and opens a BE connection master → slave
+/// (NI `2·width·height − 1`, the diagonally farthest attachment).
+///
+/// Returns the system, the configurator and the slave NI id.
+pub fn master_slave_system(width: usize, height: usize) -> (NocSystem, RuntimeConfigurator, usize) {
+    let n = 2 * width * height;
+    let mut nis = vec![presets::cfg_module_ni(0, 8), presets::master_ni(1)];
+    for id in 2..n {
+        nis.push(presets::slave_ni(id));
+    }
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width,
+            height,
+            nis_per_router: 2,
+        },
+        nis,
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, 8);
+    let slave = n - 1;
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest::best_effort(
+            ChannelEnd { ni: 1, channel: 1 },
+            ChannelEnd {
+                ni: slave,
+                channel: 1,
+            },
+        ),
+    )
+    .expect("connection opens");
+    (sys, cfg, slave)
+}
+
+/// Parameters for a raw streaming pair.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSetup {
+    /// GT slots for the forward direction (`None` = best effort).
+    pub gt_slots: Option<usize>,
+    /// Slot placement.
+    pub strategy: SlotStrategy,
+    /// Data threshold at the source.
+    pub data_threshold: u32,
+    /// Credit threshold at the sink side.
+    pub credit_threshold: u32,
+    /// Source/destination queue depth of the streaming channels, words.
+    pub queue_words: usize,
+}
+
+impl Default for StreamSetup {
+    fn default() -> Self {
+        StreamSetup {
+            gt_slots: None,
+            strategy: SlotStrategy::Spread,
+            data_threshold: 0,
+            credit_threshold: 0,
+            queue_words: 8,
+        }
+    }
+}
+
+/// Builds a 2×1 mesh with a raw streaming pair: cfg (NI 0) and source
+/// (NI 1) on router 0, sink (NI 2) and a spare (NI 3) on router 1, with the
+/// connection source.ch1 → sink.ch1 opened per `setup`.
+pub fn stream_system(setup: StreamSetup) -> (NocSystem, RuntimeConfigurator) {
+    let mut spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 2,
+            height: 1,
+            nis_per_router: 2,
+        },
+        vec![
+            presets::cfg_module_ni(0, 4),
+            presets::raw_ni(1, 1),
+            presets::raw_ni(2, 1),
+            presets::slave_ni(3),
+        ],
+    );
+    // The streaming channels' queue depth is a design-time knob (§1).
+    spec.nis[1].kernel.ports[1].queue_words = setup.queue_words;
+    spec.nis[2].kernel.ports[1].queue_words = setup.queue_words;
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, 8);
+    let fwd = match setup.gt_slots {
+        Some(slots) => Service::Guaranteed {
+            slots,
+            strategy: setup.strategy,
+        },
+        None => Service::BestEffort,
+    };
+    let req = ConnectionRequest {
+        fwd,
+        rev: Service::BestEffort,
+        data_threshold: setup.data_threshold,
+        credit_threshold: setup.credit_threshold,
+        ..ConnectionRequest::best_effort(
+            ChannelEnd { ni: 1, channel: 1 },
+            ChannelEnd { ni: 2, channel: 1 },
+        )
+    };
+    cfg.open_connection(&mut sys, &req)
+        .expect("stream connection opens");
+    // The configurator writes thresholds only at the master end (the
+    // paper's 5-vs-3 register split); program the sink side's credit
+    // threshold explicitly so unidirectional credit batching is testable.
+    if setup.credit_threshold > 0 {
+        use aethereal_ni::kernel::{chan_reg_addr, ChanReg};
+        sys.nis[2]
+            .kernel
+            .reg_write(
+                chan_reg_addr(1, ChanReg::CreditThreshold),
+                setup.credit_threshold,
+            )
+            .expect("threshold register exists");
+    }
+    (sys, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_slave_builds_on_several_sizes() {
+        for (w, h) in [(1, 2), (2, 2), (3, 2)] {
+            let (sys, cfg, slave) = master_slave_system(w, h);
+            assert_eq!(sys.nis.len(), 2 * w * h);
+            assert_eq!(slave, 2 * w * h - 1);
+            assert_eq!(cfg.stats().connections_opened, 1);
+        }
+    }
+
+    #[test]
+    fn stream_system_gt_and_be() {
+        let (sys, cfg) = stream_system(StreamSetup::default());
+        assert!(!sys.nis[1].kernel.channel(1).is_gt());
+        assert_eq!(cfg.stats().connections_opened, 1);
+        let (sys, _) = stream_system(StreamSetup {
+            gt_slots: Some(4),
+            ..Default::default()
+        });
+        assert!(sys.nis[1].kernel.channel(1).is_gt());
+    }
+}

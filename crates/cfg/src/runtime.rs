@@ -1,0 +1,560 @@
+//! Run-time connection configuration through the NoC itself (Fig. 9).
+//!
+//! [`RuntimeConfigurator`] is the *configuration module* (Cfg): a master on
+//! a configuration-shell port that opens and closes connections by writing
+//! NI registers — locally through the config shell's bypass, remotely
+//! through request messages to the target NI's CNIP. The four-step flow of
+//! Fig. 9 is reproduced literally:
+//!
+//! 1. set up the **request channel** of the configuration connection with
+//!    local register writes (`wr be,enable / wr space / wr path,rqid`);
+//! 2. set up its **response channel** by sending those writes through the
+//!    NoC, the last one acknowledged;
+//! 3. set up the user connection's **response channel** (slave side, 3
+//!    registers);
+//! 4. set up its **request channel** (master side, 5 registers: the three
+//!    basic ones plus the two thresholds), plus slot-table entries for GT
+//!    service.
+//!
+//! Every register write and every configuration message is counted in
+//! [`ConfigStats`] — bench E5 regenerates the paper's configuration-cost
+//! discussion from these counters.
+
+use crate::slots::{SlotAllocation, SlotAllocator, SlotError, SlotStrategy};
+use crate::system::NocSystem;
+use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
+use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
+use aethereal_ni::shell::config::global_addr;
+use aethereal_ni::transaction::{RespStatus, Transaction};
+use noc_sim::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One end of a connection: a channel of an NI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelEnd {
+    /// The NI.
+    pub ni: usize,
+    /// The channel within that NI.
+    pub channel: usize,
+}
+
+/// Service level of one direction of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Service {
+    /// Best-effort delivery.
+    BestEffort,
+    /// Guaranteed throughput: `slots` of the slot table, placed per
+    /// `strategy`.
+    Guaranteed {
+        /// Number of TDM slots to reserve.
+        slots: usize,
+        /// Placement strategy.
+        strategy: SlotStrategy,
+    },
+}
+
+impl Service {
+    fn is_gt(&self) -> bool {
+        matches!(self, Service::Guaranteed { .. })
+    }
+}
+
+/// A connection to open: a master-side channel paired with a slave-side
+/// channel, with per-direction service levels (§2: "different properties
+/// can be attached to the request and response parts of a connection").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionRequest {
+    /// Master-side channel (source of request messages).
+    pub master: ChannelEnd,
+    /// Slave-side channel (source of response messages).
+    pub slave: ChannelEnd,
+    /// Service of the request direction (master → slave).
+    pub fwd: Service,
+    /// Service of the response direction (slave → master).
+    pub rev: Service,
+    /// Data threshold written to both ends (0 = send immediately).
+    pub data_threshold: u32,
+    /// Credit threshold written to both ends (0 = return immediately).
+    pub credit_threshold: u32,
+}
+
+impl ConnectionRequest {
+    /// A best-effort connection with default thresholds.
+    pub fn best_effort(master: ChannelEnd, slave: ChannelEnd) -> Self {
+        ConnectionRequest {
+            master,
+            slave,
+            fwd: Service::BestEffort,
+            rev: Service::BestEffort,
+            data_threshold: 0,
+            credit_threshold: 0,
+        }
+    }
+
+    /// A connection with GT service in both directions.
+    pub fn guaranteed(master: ChannelEnd, slave: ChannelEnd, slots: usize) -> Self {
+        let svc = Service::Guaranteed {
+            slots,
+            strategy: SlotStrategy::Spread,
+        };
+        ConnectionRequest {
+            fwd: svc,
+            rev: svc,
+            ..Self::best_effort(master, slave)
+        }
+    }
+}
+
+/// An opened connection (needed to close it again).
+#[derive(Debug, Clone)]
+pub struct ConnectionHandle {
+    /// The request this connection was opened from.
+    pub request: ConnectionRequest,
+    fwd_alloc: Option<SlotAllocation>,
+    rev_alloc: Option<SlotAllocation>,
+}
+
+impl ConnectionHandle {
+    /// The forward (request-direction) slot reservation, if GT.
+    pub fn fwd_slots(&self) -> Option<&SlotAllocation> {
+        self.fwd_alloc.as_ref()
+    }
+
+    /// The reverse (response-direction) slot reservation, if GT.
+    pub fn rev_slots(&self) -> Option<&SlotAllocation> {
+        self.rev_alloc.as_ref()
+    }
+}
+
+/// Configuration cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigStats {
+    /// Register writes issued (local + remote).
+    pub reg_writes: u64,
+    /// Register writes that crossed the NoC as messages.
+    pub remote_writes: u64,
+    /// Configuration request messages sent through the NoC.
+    pub config_messages: u64,
+    /// Acknowledgment messages received.
+    pub acks: u64,
+    /// Cycles spent waiting for acknowledgments.
+    pub cycles_waited: u64,
+    /// User connections opened.
+    pub connections_opened: u64,
+    /// User connections closed.
+    pub connections_closed: u64,
+    /// Configuration connections opened (Fig. 9 steps 1–2).
+    pub config_connections_opened: u64,
+}
+
+/// Configuration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Slot allocation failed.
+    Slots(SlotError),
+    /// No acknowledgment within the timeout.
+    Timeout,
+    /// The remote CNIP rejected an operation.
+    Nack(RespStatus),
+    /// The config port has no free channel for another configuration
+    /// connection.
+    ChannelsExhausted,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Slots(e) => write!(f, "slot allocation failed: {e}"),
+            ConfigError::Timeout => write!(f, "configuration acknowledgment timed out"),
+            ConfigError::Nack(s) => write!(f, "remote CNIP rejected the operation: {s}"),
+            ConfigError::ChannelsExhausted => {
+                write!(f, "no free configuration channel at the config port")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<SlotError> for ConfigError {
+    fn from(e: SlotError) -> Self {
+        ConfigError::Slots(e)
+    }
+}
+
+/// The centralized configuration module.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigurator {
+    cfg_ni: usize,
+    cfg_port: usize,
+    topo: Topology,
+    allocator: SlotAllocator,
+    bound: HashMap<usize, usize>,
+    next_local: usize,
+    tid: u16,
+    stats: ConfigStats,
+    ack_timeout: u64,
+}
+
+impl RuntimeConfigurator {
+    /// Creates the configurator sitting on `(cfg_ni, cfg_port)` — a config
+    /// shell port — for a NoC with `stu_slots`-entry slot tables.
+    pub fn new(topo: Topology, cfg_ni: usize, cfg_port: usize, stu_slots: usize) -> Self {
+        RuntimeConfigurator {
+            cfg_ni,
+            cfg_port,
+            topo,
+            allocator: SlotAllocator::new(stu_slots),
+            bound: HashMap::new(),
+            next_local: 0,
+            tid: 0,
+            stats: ConfigStats::default(),
+            ack_timeout: 200_000,
+        }
+    }
+
+    /// Cost counters.
+    pub fn stats(&self) -> &ConfigStats {
+        &self.stats
+    }
+
+    /// The slot allocator (centralized slot information, §3).
+    pub fn allocator(&self) -> &SlotAllocator {
+        &self.allocator
+    }
+
+    fn next_tid(&mut self) -> u16 {
+        self.tid = (self.tid + 1) & aethereal_ni::message::MAX_TRANS_ID;
+        self.tid
+    }
+
+    /// Issues one register write; `ack` makes it an acknowledged write that
+    /// is waited for.
+    fn write(
+        &mut self,
+        sys: &mut NocSystem,
+        target_ni: usize,
+        reg: u32,
+        value: u32,
+        ack: bool,
+    ) -> Result<(), ConfigError> {
+        let tid = self.next_tid();
+        let addr = global_addr(target_ni, reg);
+        let t = if ack {
+            Transaction::acked_write(addr, vec![value], tid)
+        } else {
+            Transaction::write(addr, vec![value], tid)
+        };
+        self.stats.reg_writes += 1;
+        if target_ni != self.cfg_ni {
+            self.stats.remote_writes += 1;
+            self.stats.config_messages += 1;
+        }
+        sys.nis[self.cfg_ni].config_mut(self.cfg_port).submit(t);
+        if ack {
+            let resp = self.wait_response(sys, tid)?;
+            if resp != RespStatus::Ok {
+                return Err(ConfigError::Nack(resp));
+            }
+            self.stats.acks += 1;
+            if target_ni != self.cfg_ni {
+                self.stats.config_messages += 1; // the ack message itself
+            }
+        }
+        Ok(())
+    }
+
+    fn wait_response(&mut self, sys: &mut NocSystem, tid: u16) -> Result<RespStatus, ConfigError> {
+        for _ in 0..self.ack_timeout {
+            if let Some(r) = sys.nis[self.cfg_ni]
+                .config_mut(self.cfg_port)
+                .take_response()
+            {
+                if r.trans_id == tid {
+                    return Ok(r.status);
+                }
+                // A stale ack from an earlier acked write: ignore.
+                continue;
+            }
+            sys.tick();
+            self.stats.cycles_waited += 1;
+        }
+        Err(ConfigError::Timeout)
+    }
+
+    /// Opens the configuration connection Cfg → `target` CNIP (Fig. 9 steps
+    /// 1 and 2). Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn open_config_connection(
+        &mut self,
+        sys: &mut NocSystem,
+        target: usize,
+    ) -> Result<(), ConfigError> {
+        if target == self.cfg_ni || self.bound.contains_key(&target) {
+            return Ok(());
+        }
+        let stack = sys.nis[self.cfg_ni].config_mut(self.cfg_port);
+        let locals = stack.channels().len();
+        if self.next_local >= locals {
+            return Err(ConfigError::ChannelsExhausted);
+        }
+        let local = self.next_local;
+        let cfg_channel = stack.channels()[local];
+        self.next_local += 1;
+        let p_fwd = self.topo.route(self.cfg_ni, target).expect("route exists");
+        let p_rev = self.topo.route(target, self.cfg_ni).expect("route exists");
+        let target_cnip = sys.nis[target]
+            .kernel
+            .spec()
+            .cnip_channel
+            .expect("target NI must expose a CNIP");
+        let cnip_space = sys.nis[target].kernel.dst_capacity(target_cnip) as u32;
+        let cfg_space = sys.nis[self.cfg_ni].kernel.dst_capacity(cfg_channel) as u32;
+        // Step 1: request channel Cfg → target CNIP, local writes. Space
+        // and path are written before enable so a half-configured channel
+        // can never emit a packet with a garbage route.
+        self.write(
+            sys,
+            self.cfg_ni,
+            chan_reg_addr(cfg_channel, ChanReg::Space),
+            cnip_space,
+            false,
+        )?;
+        self.write(
+            sys,
+            self.cfg_ni,
+            chan_reg_addr(cfg_channel, ChanReg::PathRqid),
+            pack_path_rqid(&p_fwd, target_cnip as u8),
+            false,
+        )?;
+        self.write(
+            sys,
+            self.cfg_ni,
+            chan_reg_addr(cfg_channel, ChanReg::Ctrl),
+            CTRL_ENABLE,
+            false,
+        )?;
+        sys.nis[self.cfg_ni]
+            .config_mut(self.cfg_port)
+            .bind(target, local);
+        self.bound.insert(target, local);
+        // Step 2: response channel target CNIP → Cfg, via the NoC; the last
+        // write (the enable) requests an acknowledgment (Fig. 9).
+        self.write(
+            sys,
+            target,
+            chan_reg_addr(target_cnip, ChanReg::Space),
+            cfg_space,
+            false,
+        )?;
+        self.write(
+            sys,
+            target,
+            chan_reg_addr(target_cnip, ChanReg::PathRqid),
+            pack_path_rqid(&p_rev, cfg_channel as u8),
+            false,
+        )?;
+        self.write(
+            sys,
+            target,
+            chan_reg_addr(target_cnip, ChanReg::Ctrl),
+            CTRL_ENABLE,
+            true,
+        )?;
+        self.stats.config_connections_opened += 1;
+        Ok(())
+    }
+
+    /// Configures one end of a connection. `is_master_end` selects the
+    /// 5-register master flavour (with thresholds) vs the 3-register slave
+    /// flavour; GT ends additionally get their slot-table entries.
+    #[allow(clippy::too_many_arguments)]
+    fn configure_end(
+        &mut self,
+        sys: &mut NocSystem,
+        end: ChannelEnd,
+        path: &noc_sim::Path,
+        remote_qid: u8,
+        space: u32,
+        service: Service,
+        alloc: Option<&SlotAllocation>,
+        req: &ConnectionRequest,
+        is_master_end: bool,
+    ) -> Result<(), ConfigError> {
+        let gt_bit = if service.is_gt() { CTRL_GT } else { 0 };
+        // Space and path before enable, so an already-filled source queue
+        // cannot leak onto a half-configured channel.
+        self.write(
+            sys,
+            end.ni,
+            chan_reg_addr(end.channel, ChanReg::Space),
+            space,
+            false,
+        )?;
+        self.write(
+            sys,
+            end.ni,
+            chan_reg_addr(end.channel, ChanReg::PathRqid),
+            pack_path_rqid(path, remote_qid),
+            false,
+        )?;
+        if is_master_end {
+            self.write(
+                sys,
+                end.ni,
+                chan_reg_addr(end.channel, ChanReg::DataThreshold),
+                req.data_threshold,
+                false,
+            )?;
+            self.write(
+                sys,
+                end.ni,
+                chan_reg_addr(end.channel, ChanReg::CreditThreshold),
+                req.credit_threshold,
+                false,
+            )?;
+        }
+        if let Some(alloc) = alloc {
+            for &s in &alloc.injection_slots {
+                self.write(sys, end.ni, slot_reg_addr(s), end.channel as u32 + 1, false)?;
+            }
+        }
+        self.write(
+            sys,
+            end.ni,
+            chan_reg_addr(end.channel, ChanReg::Ctrl),
+            CTRL_ENABLE | gt_bit,
+            true,
+        )
+    }
+
+    /// Opens a user connection (Fig. 9 steps 3 and 4): first the response
+    /// channel at the slave NI, then the request channel at the master NI.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`]; on slot-allocation failure nothing is changed.
+    pub fn open_connection(
+        &mut self,
+        sys: &mut NocSystem,
+        req: &ConnectionRequest,
+    ) -> Result<ConnectionHandle, ConfigError> {
+        self.open_config_connection(sys, req.master.ni)?;
+        self.open_config_connection(sys, req.slave.ni)?;
+        let p_req = self
+            .topo
+            .route(req.master.ni, req.slave.ni)
+            .expect("route exists");
+        let p_resp = self
+            .topo
+            .route(req.slave.ni, req.master.ni)
+            .expect("route exists");
+        let fwd_alloc = match req.fwd {
+            Service::Guaranteed { slots, strategy } => {
+                Some(
+                    self.allocator
+                        .allocate(&self.topo, req.master.ni, &p_req, slots, strategy)?,
+                )
+            }
+            Service::BestEffort => None,
+        };
+        let rev_alloc = match req.rev {
+            Service::Guaranteed { slots, strategy } => {
+                match self
+                    .allocator
+                    .allocate(&self.topo, req.slave.ni, &p_resp, slots, strategy)
+                {
+                    Ok(a) => Some(a),
+                    Err(e) => {
+                        if let Some(f) = &fwd_alloc {
+                            self.allocator.free(f);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            Service::BestEffort => None,
+        };
+        let master_space = sys.nis[req.slave.ni].kernel.dst_capacity(req.slave.channel) as u32;
+        let slave_space = sys.nis[req.master.ni]
+            .kernel
+            .dst_capacity(req.master.channel) as u32;
+        // Step 3: response channel (A → B) at the slave NI.
+        self.configure_end(
+            sys,
+            req.slave,
+            &p_resp,
+            req.master.channel as u8,
+            slave_space,
+            req.rev,
+            rev_alloc.as_ref(),
+            req,
+            false,
+        )?;
+        // Step 4: request channel (B → A) at the master NI.
+        self.configure_end(
+            sys,
+            req.master,
+            &p_req,
+            req.slave.channel as u8,
+            master_space,
+            req.fwd,
+            fwd_alloc.as_ref(),
+            req,
+            true,
+        )?;
+        self.stats.connections_opened += 1;
+        Ok(ConnectionHandle {
+            request: req.clone(),
+            fwd_alloc,
+            rev_alloc,
+        })
+    }
+
+    /// Closes a connection: disables both channels, clears their slot-table
+    /// entries and releases the slot reservations.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn close_connection(
+        &mut self,
+        sys: &mut NocSystem,
+        handle: &ConnectionHandle,
+    ) -> Result<(), ConfigError> {
+        let req = &handle.request;
+        // Master first so no new requests enter a half-closed connection.
+        if let Some(a) = &handle.fwd_alloc {
+            for &s in &a.injection_slots {
+                self.write(sys, req.master.ni, slot_reg_addr(s), 0, false)?;
+            }
+            self.allocator.free(a);
+        }
+        self.write(
+            sys,
+            req.master.ni,
+            chan_reg_addr(req.master.channel, ChanReg::Ctrl),
+            0,
+            true,
+        )?;
+        if let Some(a) = &handle.rev_alloc {
+            for &s in &a.injection_slots {
+                self.write(sys, req.slave.ni, slot_reg_addr(s), 0, false)?;
+            }
+            self.allocator.free(a);
+        }
+        self.write(
+            sys,
+            req.slave.ni,
+            chan_reg_addr(req.slave.channel, ChanReg::Ctrl),
+            0,
+            true,
+        )?;
+        self.stats.connections_closed += 1;
+        Ok(())
+    }
+}

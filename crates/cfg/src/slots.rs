@@ -1,0 +1,348 @@
+//! Centralized TDM slot allocation.
+//!
+//! §3 of the paper: in the centralized model "the slot information can be
+//! stored in the configuration module instead of the routers, which
+//! simplifies the design" — this module *is* that slot information. The
+//! allocator tracks, per directed link, which of the `S` slots are
+//! reserved, honouring the pipelined-circuit rule: a connection injecting
+//! in slot `s` occupies slot `(s + h) mod S` on the link after hop `h`
+//! ("slots to be reserved consecutively in a sequence of routers", §2).
+//!
+//! Throughput of a reservation is `n_slots / S` of the link bandwidth; the
+//! worst-case waiting latency and the jitter are both governed by the
+//! largest gap between reserved slots, so [`SlotStrategy::Spread`] places
+//! slots as evenly as possible, while [`SlotStrategy::Consecutive`] favours
+//! long multi-flit packets (lower header overhead).
+
+use noc_sim::{NiId, Path, PortIdx, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A directed link for slot bookkeeping: `(router, output port)`, with the
+/// NI-injection link encoded as `(usize::MAX, ni)`.
+pub type LinkKey = (usize, PortIdx);
+
+/// How reserved slots are placed in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotStrategy {
+    /// Maximize spacing between slots (minimizes latency bound and jitter).
+    Spread,
+    /// Prefer a consecutive run (maximizes packet length / minimizes header
+    /// overhead).
+    Consecutive,
+}
+
+/// A granted reservation (needed to free it again).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotAllocation {
+    /// Injection slots at the source NI, ascending.
+    pub injection_slots: Vec<usize>,
+    /// Every `(link, slot)` pair reserved.
+    reserved: Vec<(LinkKey, usize)>,
+}
+
+impl SlotAllocation {
+    /// Largest circular gap between consecutive injection slots, in slots —
+    /// the §2 jitter bound ("jitter is given by the maximum distance
+    /// between two slot reservations").
+    pub fn max_gap(&self, stu_slots: usize) -> usize {
+        let s = &self.injection_slots;
+        if s.is_empty() {
+            return stu_slots;
+        }
+        let mut max = 0;
+        for i in 0..s.len() {
+            let next = s[(i + 1) % s.len()];
+            let gap = (next + stu_slots - s[i] - 1) % stu_slots + 1;
+            max = max.max(gap);
+        }
+        max
+    }
+
+    /// Guaranteed fraction of link bandwidth (`n / S`).
+    pub fn bandwidth_fraction(&self, stu_slots: usize) -> f64 {
+        self.injection_slots.len() as f64 / stu_slots as f64
+    }
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotError {
+    /// Not enough conflict-free slots along the path.
+    Insufficient {
+        /// Slots requested.
+        requested: usize,
+        /// Conflict-free injection slots available.
+        available: usize,
+    },
+    /// No consecutive run of the requested length exists.
+    NoConsecutiveRun {
+        /// Slots requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotError::Insufficient {
+                requested,
+                available,
+            } => {
+                write!(f, "{requested} slots requested, only {available} feasible")
+            }
+            SlotError::NoConsecutiveRun { requested } => {
+                write!(f, "no consecutive run of {requested} slots is feasible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// The centralized slot allocator.
+#[derive(Debug, Clone, Default)]
+pub struct SlotAllocator {
+    stu_slots: usize,
+    occupancy: HashMap<LinkKey, u64>,
+}
+
+impl SlotAllocator {
+    /// Creates an allocator for tables of `stu_slots` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stu_slots` is 0 or above 64 (bitmask representation).
+    pub fn new(stu_slots: usize) -> Self {
+        assert!((1..=64).contains(&stu_slots), "STU size out of range");
+        SlotAllocator {
+            stu_slots,
+            occupancy: HashMap::new(),
+        }
+    }
+
+    /// Slot-table size.
+    pub fn stu_slots(&self) -> usize {
+        self.stu_slots
+    }
+
+    /// Reserved slots on a link.
+    pub fn reserved_on(&self, link: LinkKey) -> usize {
+        self.occupancy
+            .get(&link)
+            .map_or(0, |m| m.count_ones() as usize)
+    }
+
+    fn links_of(topo: &Topology, from: NiId, path: &Path) -> Vec<LinkKey> {
+        topo.links_of_route(from, path)
+    }
+
+    fn injection_slot_feasible(&self, links: &[LinkKey], s: usize) -> bool {
+        links.iter().enumerate().all(|(h, link)| {
+            let slot = (s + h) % self.stu_slots;
+            self.occupancy
+                .get(link)
+                .is_none_or(|m| m & (1 << slot) == 0)
+        })
+    }
+
+    /// Reserves `n_slots` slots for a GT connection from NI `from` along
+    /// `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SlotError`]. On error nothing is reserved.
+    pub fn allocate(
+        &mut self,
+        topo: &Topology,
+        from: NiId,
+        path: &Path,
+        n_slots: usize,
+        strategy: SlotStrategy,
+    ) -> Result<SlotAllocation, SlotError> {
+        assert!(n_slots >= 1, "a GT connection needs at least one slot");
+        let links = Self::links_of(topo, from, path);
+        let feasible: Vec<usize> = (0..self.stu_slots)
+            .filter(|&s| self.injection_slot_feasible(&links, s))
+            .collect();
+        if feasible.len() < n_slots {
+            return Err(SlotError::Insufficient {
+                requested: n_slots,
+                available: feasible.len(),
+            });
+        }
+        let chosen: Vec<usize> = match strategy {
+            SlotStrategy::Spread => {
+                // Evenly sample the feasible set.
+                (0..n_slots)
+                    .map(|i| feasible[i * feasible.len() / n_slots])
+                    .collect()
+            }
+            SlotStrategy::Consecutive => {
+                // A run s, s+1, …, s+n-1 of feasible injection slots
+                // (wrapping).
+                let set: std::collections::HashSet<usize> = feasible.iter().copied().collect();
+                let start = (0..self.stu_slots)
+                    .find(|&s| (0..n_slots).all(|k| set.contains(&((s + k) % self.stu_slots))))
+                    .ok_or(SlotError::NoConsecutiveRun { requested: n_slots })?;
+                let mut run: Vec<usize> =
+                    (0..n_slots).map(|k| (start + k) % self.stu_slots).collect();
+                run.sort_unstable();
+                run
+            }
+        };
+        let mut reserved = Vec::new();
+        for &s in &chosen {
+            for (h, &link) in links.iter().enumerate() {
+                let slot = (s + h) % self.stu_slots;
+                *self.occupancy.entry(link).or_insert(0) |= 1 << slot;
+                reserved.push((link, slot));
+            }
+        }
+        Ok(SlotAllocation {
+            injection_slots: chosen,
+            reserved,
+        })
+    }
+
+    /// Releases a reservation.
+    pub fn free(&mut self, alloc: &SlotAllocation) {
+        for &(link, slot) in &alloc.reserved {
+            if let Some(m) = self.occupancy.get_mut(&link) {
+                *m &= !(1 << slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::Topology;
+
+    fn setup() -> (Topology, SlotAllocator) {
+        (Topology::mesh(2, 2, 1), SlotAllocator::new(8))
+    }
+
+    #[test]
+    fn simple_allocation_succeeds() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 3).unwrap();
+        let a = alloc
+            .allocate(&topo, 0, &path, 2, SlotStrategy::Spread)
+            .unwrap();
+        assert_eq!(a.injection_slots.len(), 2);
+        assert!((a.bandwidth_fraction(8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_minimizes_gap() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 3).unwrap();
+        let a = alloc
+            .allocate(&topo, 0, &path, 4, SlotStrategy::Spread)
+            .unwrap();
+        assert_eq!(a.max_gap(8), 2, "4 of 8 slots evenly spread: gap 2");
+    }
+
+    #[test]
+    fn consecutive_produces_run() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 3).unwrap();
+        let a = alloc
+            .allocate(&topo, 0, &path, 3, SlotStrategy::Consecutive)
+            .unwrap();
+        assert_eq!(a.injection_slots, vec![0, 1, 2]);
+        assert_eq!(a.max_gap(8), 6);
+    }
+
+    #[test]
+    fn pipelined_shift_applied_per_hop() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 3).unwrap(); // E, S, eject: 4 links incl. injection
+        let a = alloc
+            .allocate(&topo, 0, &path, 1, SlotStrategy::Spread)
+            .unwrap();
+        let s = a.injection_slots[0];
+        // The shared router1→router3 link (hop index 2) holds slot s+2.
+        assert_eq!(alloc.reserved_on((1, 2)), 1);
+        let _ = s;
+    }
+
+    #[test]
+    fn conflicting_flows_get_disjoint_slots() {
+        let (topo, mut alloc) = setup();
+        let p03 = topo.route(0, 3).unwrap();
+        let p13 = topo.route(1, 3).unwrap();
+        let a = alloc
+            .allocate(&topo, 0, &p03, 4, SlotStrategy::Spread)
+            .unwrap();
+        let b = alloc
+            .allocate(&topo, 1, &p13, 4, SlotStrategy::Spread)
+            .unwrap();
+        // Shared link router1→south: slots of a at s+2, of b at s'+1 — the
+        // allocator must have kept them disjoint.
+        let mut used = std::collections::HashSet::new();
+        for &s in &a.injection_slots {
+            assert!(used.insert((s + 2) % 8));
+        }
+        for &s in &b.injection_slots {
+            assert!(used.insert((s + 1) % 8), "overlap on shared link");
+        }
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 3).unwrap();
+        let _ = alloc
+            .allocate(&topo, 0, &path, 8, SlotStrategy::Spread)
+            .unwrap();
+        let err = alloc
+            .allocate(&topo, 0, &path, 1, SlotStrategy::Spread)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SlotError::Insufficient {
+                requested: 1,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn free_releases_slots() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 3).unwrap();
+        let a = alloc
+            .allocate(&topo, 0, &path, 8, SlotStrategy::Spread)
+            .unwrap();
+        alloc.free(&a);
+        let b = alloc.allocate(&topo, 0, &path, 8, SlotStrategy::Spread);
+        assert!(b.is_ok(), "all slots reusable after free");
+    }
+
+    #[test]
+    fn max_gap_wraps_circularly() {
+        let a = SlotAllocation {
+            injection_slots: vec![0, 1],
+            reserved: vec![],
+        };
+        assert_eq!(a.max_gap(8), 7, "gap from slot 1 around to slot 0");
+        let b = SlotAllocation {
+            injection_slots: vec![2],
+            reserved: vec![],
+        };
+        assert_eq!(b.max_gap(8), 8, "single slot: full-period gap");
+    }
+
+    #[test]
+    fn full_table_consecutive() {
+        let (topo, mut alloc) = setup();
+        let path = topo.route(0, 1).unwrap();
+        let a = alloc
+            .allocate(&topo, 0, &path, 8, SlotStrategy::Consecutive)
+            .unwrap();
+        assert_eq!(a.injection_slots, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,286 @@
+//! The assembled system: network + NIs + IP modules, ticked in lockstep.
+//!
+//! Tick order within one 500 MHz network cycle:
+//!
+//! 1. every IP module whose port clock has an edge this cycle runs against
+//!    its port stack (masters submit/collect, slaves serve, raw IPs
+//!    stream);
+//! 2. every NI runs (shells on their port clocks, then the kernel);
+//! 3. the network moves one word per link.
+
+use crate::spec::NocSpec;
+use aethereal_ni::kernel::ChannelId;
+use aethereal_ni::Ni;
+use aethereal_proto::{MasterIp, RawIp, SlaveIp};
+use noc_sim::Noc;
+
+struct MasterBinding {
+    ni: usize,
+    port: usize,
+    ip: Box<dyn MasterIp>,
+}
+
+struct SlaveBinding {
+    ni: usize,
+    port: usize,
+    ip: Box<dyn SlaveIp>,
+}
+
+struct RawBinding {
+    ni: usize,
+    channels: Vec<ChannelId>,
+    clock_div: u64,
+    ip: Box<dyn RawIp>,
+}
+
+/// A runnable NoC system.
+pub struct NocSystem {
+    /// The network.
+    pub noc: Noc,
+    /// The NIs, indexed by NI id.
+    pub nis: Vec<Ni>,
+    masters: Vec<MasterBinding>,
+    slaves: Vec<SlaveBinding>,
+    raws: Vec<RawBinding>,
+}
+
+impl std::fmt::Debug for NocSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NocSystem")
+            .field("nis", &self.nis.len())
+            .field("masters", &self.masters.len())
+            .field("slaves", &self.slaves.len())
+            .field("raws", &self.raws.len())
+            .field("cycle", &self.noc.cycle())
+            .finish()
+    }
+}
+
+impl NocSystem {
+    /// Builds the system from a validated spec ("generates the VHDL").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn from_spec(spec: &NocSpec) -> Self {
+        spec.validate().expect("invalid NoC spec");
+        let topology = spec.topology.build();
+        let noc = Noc::with_config(&topology, spec.noc_config());
+        let nis = spec.nis.iter().cloned().map(Ni::new).collect();
+        NocSystem {
+            noc,
+            nis,
+            masters: Vec::new(),
+            slaves: Vec::new(),
+            raws: Vec::new(),
+        }
+    }
+
+    /// Binds a master IP to `(ni, port)`. Returns a handle index for
+    /// [`NocSystem::master_ip`].
+    pub fn bind_master(&mut self, ni: usize, port: usize, ip: Box<dyn MasterIp>) -> usize {
+        assert!(
+            self.nis[ni].is_master(port),
+            "port {port} of NI {ni} is not a master port"
+        );
+        self.masters.push(MasterBinding { ni, port, ip });
+        self.masters.len() - 1
+    }
+
+    /// Binds a slave IP to `(ni, port)`.
+    pub fn bind_slave(&mut self, ni: usize, port: usize, ip: Box<dyn SlaveIp>) -> usize {
+        assert!(
+            self.nis[ni].is_slave(port),
+            "port {port} of NI {ni} is not a slave port"
+        );
+        self.slaves.push(SlaveBinding { ni, port, ip });
+        self.slaves.len() - 1
+    }
+
+    /// Binds a raw streaming IP to channels of NI `ni`, ticked at the clock
+    /// of `port`.
+    pub fn bind_raw(
+        &mut self,
+        ni: usize,
+        port: usize,
+        channels: Vec<ChannelId>,
+        ip: Box<dyn RawIp>,
+    ) -> usize {
+        let clock_div = u64::from(self.nis[ni].kernel.port_clock_div(port));
+        self.raws.push(RawBinding {
+            ni,
+            channels,
+            clock_div,
+            ip,
+        });
+        self.raws.len() - 1
+    }
+
+    /// The master IP behind handle `idx`.
+    pub fn master_ip(&self, idx: usize) -> &dyn MasterIp {
+        self.masters[idx].ip.as_ref()
+    }
+
+    /// The slave IP behind handle `idx`.
+    pub fn slave_ip(&self, idx: usize) -> &dyn SlaveIp {
+        self.slaves[idx].ip.as_ref()
+    }
+
+    /// The raw IP behind handle `idx`.
+    pub fn raw_ip(&self, idx: usize) -> &dyn RawIp {
+        self.raws[idx].ip.as_ref()
+    }
+
+    /// Typed access to a master IP (e.g. to read a
+    /// [`TrafficGenerator`](aethereal_proto::TrafficGenerator)'s latency
+    /// statistics after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IP is not of type `T`.
+    pub fn master_ip_as<T: 'static>(&self, idx: usize) -> &T {
+        self.masters[idx]
+            .ip
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("master IP type mismatch")
+    }
+
+    /// Typed access to a slave IP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IP is not of type `T`.
+    pub fn slave_ip_as<T: 'static>(&self, idx: usize) -> &T {
+        self.slaves[idx]
+            .ip
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("slave IP type mismatch")
+    }
+
+    /// Typed access to a raw IP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IP is not of type `T`.
+    pub fn raw_ip_as<T: 'static>(&self, idx: usize) -> &T {
+        self.raws[idx]
+            .ip
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("raw IP type mismatch")
+    }
+
+    /// Current network cycle.
+    pub fn cycle(&self) -> u64 {
+        self.noc.cycle()
+    }
+
+    /// Advances the whole system by one network cycle.
+    pub fn tick(&mut self) {
+        let cycle = self.noc.cycle();
+        for b in &mut self.masters {
+            let div = u64::from(self.nis[b.ni].kernel.port_clock_div(b.port));
+            if cycle.is_multiple_of(div) {
+                b.ip.tick(self.nis[b.ni].master_mut(b.port), cycle);
+            }
+        }
+        for b in &mut self.slaves {
+            let div = u64::from(self.nis[b.ni].kernel.port_clock_div(b.port));
+            if cycle.is_multiple_of(div) {
+                b.ip.tick(self.nis[b.ni].slave_mut(b.port), cycle);
+            }
+        }
+        for b in &mut self.raws {
+            if cycle.is_multiple_of(b.clock_div) {
+                b.ip.tick(&mut self.nis[b.ni].kernel, &b.channels, cycle);
+            }
+        }
+        for (i, ni) in self.nis.iter_mut().enumerate() {
+            ni.tick(self.noc.ni_link_mut(i), cycle);
+        }
+        self.noc.tick();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Runs until `pred` holds or `max_cycles` elapse; returns whether the
+    /// predicate was met.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&NocSystem) -> bool, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if pred(self) {
+                return true;
+            }
+            self.tick();
+        }
+        pred(self)
+    }
+
+    /// Whether every bound master and raw IP reports `done()`.
+    pub fn all_ips_done(&self) -> bool {
+        self.masters.iter().all(|b| b.ip.done()) && self.raws.iter().all(|b| b.ip.done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::spec::TopologySpec;
+
+    fn small_system() -> NocSystem {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 1,
+            },
+            vec![presets::master_ni(0), presets::slave_ni(1)],
+        );
+        NocSystem::from_spec(&spec)
+    }
+
+    #[test]
+    fn builds_and_ticks() {
+        let mut sys = small_system();
+        sys.run(10);
+        assert_eq!(sys.cycle(), 10);
+        assert_eq!(sys.noc.gt_conflicts(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let mut sys = small_system();
+        let met = sys.run_until(|s| s.cycle() >= 5, 100);
+        assert!(met);
+        assert_eq!(sys.cycle(), 5);
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut sys = small_system();
+        let met = sys.run_until(|_| false, 7);
+        assert!(!met);
+        assert_eq!(sys.cycle(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a master port")]
+    fn bind_master_to_slave_port_panics() {
+        let mut sys = small_system();
+        struct Dummy;
+        impl MasterIp for Dummy {
+            fn tick(&mut self, _: &mut aethereal_ni::shell::MasterStack, _: u64) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        sys.bind_master(1, 1, Box::new(Dummy));
+    }
+}

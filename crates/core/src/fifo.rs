@@ -1,0 +1,208 @@
+//! The custom hardware FIFO of the Æthereal NI.
+//!
+//! §5 of the paper: *"queues are implemented using custom-made hardware
+//! fifos … the hardware fifos implement the clock domain boundary allowing
+//! each NI port to run at a different clock frequency."* We model the
+//! dual-clock behaviour by time-stamping each pushed word: it becomes
+//! visible to the reader only [`HwFifo::crossing`] cycles after the push
+//! (two cycles of synchronizer latency in the paper's latency budget).
+//!
+//! All timestamps are in base (500 MHz network) cycles; a port running at a
+//! divided clock simply pushes/pops less often.
+
+use std::collections::VecDeque;
+
+/// Default clock-domain-crossing latency in base cycles (paper: "2 clock
+/// cycles for clock domain crossing").
+pub const DEFAULT_CROSSING_CYCLES: u64 = 2;
+
+/// Error returned when pushing into a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError;
+
+impl std::fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl std::error::Error for FifoFullError {}
+
+/// A bounded dual-clock hardware FIFO of 32-bit words.
+///
+/// # Example
+///
+/// ```
+/// use aethereal_ni::fifo::HwFifo;
+/// let mut f = HwFifo::new(8, 2);
+/// f.push(42, 10).unwrap();
+/// assert_eq!(f.sync_level(11), 0);   // still crossing clock domains
+/// assert_eq!(f.sync_level(12), 1);   // visible two cycles later
+/// assert_eq!(f.pop(12), Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwFifo {
+    capacity: usize,
+    crossing: u64,
+    q: VecDeque<(u32, u64)>, // (word, visible_at)
+}
+
+impl HwFifo {
+    /// Creates a FIFO of `capacity` words with the given crossing latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, crossing: u64) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        HwFifo {
+            capacity,
+            crossing,
+            q: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Crossing latency in base cycles.
+    pub fn crossing(&self) -> u64 {
+        self.crossing
+    }
+
+    /// Total occupancy, including words still crossing (this is what the
+    /// *writer* side sees for back-pressure).
+    pub fn level(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Free space from the writer's perspective.
+    pub fn space(&self) -> usize {
+        self.capacity - self.q.len()
+    }
+
+    /// Whether a push would fail.
+    pub fn is_full(&self) -> bool {
+        self.q.len() >= self.capacity
+    }
+
+    /// Whether the FIFO holds no words at all.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Occupancy visible to the *reader* side at cycle `now` (words that
+    /// have completed the clock-domain crossing).
+    pub fn sync_level(&self, now: u64) -> usize {
+        self.q.iter().take_while(|&&(_, t)| t <= now).count()
+    }
+
+    /// Pushes a word at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when at capacity.
+    pub fn push(&mut self, word: u32, now: u64) -> Result<(), FifoFullError> {
+        if self.is_full() {
+            return Err(FifoFullError);
+        }
+        self.q.push_back((word, now + self.crossing));
+        Ok(())
+    }
+
+    /// Pops the oldest *visible* word at cycle `now`.
+    pub fn pop(&mut self, now: u64) -> Option<u32> {
+        match self.q.front() {
+            Some(&(_, t)) if t <= now => self.q.pop_front().map(|(w, _)| w),
+            _ => None,
+        }
+    }
+
+    /// Peeks the oldest visible word at cycle `now`.
+    pub fn peek(&self, now: u64) -> Option<u32> {
+        match self.q.front() {
+            Some(&(w, t)) if t <= now => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Removes all words (used on reset / connection close).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut f = HwFifo::new(4, 0);
+        for w in 0..4 {
+            f.push(w, 0).unwrap();
+        }
+        for w in 0..4 {
+            assert_eq!(f.pop(0), Some(w));
+        }
+        assert_eq!(f.pop(0), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut f = HwFifo::new(2, 0);
+        f.push(1, 0).unwrap();
+        f.push(2, 0).unwrap();
+        assert_eq!(f.push(3, 0), Err(FifoFullError));
+        assert!(f.is_full());
+        assert_eq!(f.space(), 0);
+    }
+
+    #[test]
+    fn crossing_hides_words_from_reader() {
+        let mut f = HwFifo::new(4, 2);
+        f.push(7, 100).unwrap();
+        assert_eq!(f.level(), 1, "writer sees occupancy immediately");
+        assert_eq!(f.sync_level(100), 0);
+        assert_eq!(f.sync_level(101), 0);
+        assert_eq!(f.sync_level(102), 1);
+        assert_eq!(f.pop(101), None);
+        assert_eq!(f.pop(102), Some(7));
+    }
+
+    #[test]
+    fn peek_respects_crossing() {
+        let mut f = HwFifo::new(4, 3);
+        f.push(9, 0).unwrap();
+        assert_eq!(f.peek(2), None);
+        assert_eq!(f.peek(3), Some(9));
+        assert_eq!(f.level(), 1);
+    }
+
+    #[test]
+    fn sync_level_counts_prefix_only() {
+        let mut f = HwFifo::new(8, 2);
+        f.push(1, 0).unwrap();
+        f.push(2, 5).unwrap();
+        // At cycle 4, only the first word has crossed.
+        assert_eq!(f.sync_level(4), 1);
+        assert_eq!(f.sync_level(7), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = HwFifo::new(2, 0);
+        f.push(1, 0).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.space(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = HwFifo::new(0, 0);
+    }
+}

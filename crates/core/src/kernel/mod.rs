@@ -1,0 +1,938 @@
+//! The NI kernel (Fig. 2 of the paper): per-channel queues, end-to-end
+//! credit-based flow control, the GT slot table (STU), BE arbitration,
+//! packetization/depacketization, the threshold/flush machinery, the
+//! memory-mapped register file, and the built-in CNIP slave.
+//!
+//! One [`NiKernel::tick`] call advances the kernel by one 500 MHz network
+//! cycle:
+//!
+//! 1. **depacketize** everything delivered by the router (credits are added
+//!    to `Space`, payload lands in destination queues selected by the header
+//!    queue id);
+//! 2. **service the CNIP** (one register operation word per cycle);
+//! 3. at a slot boundary with an idle packetizer, **build** the next GT
+//!    packet (if the current slot is reserved and its channel eligible) and
+//!    the next BE packet (arbitrated among eligible BE channels);
+//! 4. **emit** one word toward the router — GT words in their reserved
+//!    slots with absolute priority, BE words whenever the link and its
+//!    credits allow.
+
+pub mod channel;
+pub mod regs;
+pub mod sched;
+
+pub use channel::{Channel, ChannelId, ChannelStats};
+pub use regs::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg, RegError};
+pub use sched::ArbPolicy;
+
+use crate::fifo::{FifoFullError, DEFAULT_CROSSING_CYCLES};
+use crate::message::{MessageAssembler, MsgKind, Ordering, RequestMsg, ResponseMsg};
+use crate::transaction::{Cmd, RespStatus, TransactionResponse};
+use noc_sim::header::MAX_HEADER_CREDITS;
+use noc_sim::{LinkWord, NiLink, PacketHeader, Path, WordClass, SLOT_WORDS};
+use regs::{RegAddr, CTRL_ENABLE, CTRL_GT};
+use sched::ArbState;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Geometry of one NI port (selected at instantiation time, §4.1: "their
+/// maximum number being selected at NI instantiation time").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSpec {
+    /// Number of point-to-point channels at this port.
+    pub channels: usize,
+    /// Port clock divisor relative to the 500 MHz network clock (each port
+    /// "can have a different clock frequency", §4.1).
+    pub clock_div: u32,
+    /// Source/destination queue depth per channel, in 32-bit words.
+    pub queue_words: usize,
+    /// Clock-domain-crossing latency of the port's FIFOs, in network cycles.
+    pub crossing: u64,
+}
+
+impl Default for PortSpec {
+    fn default() -> Self {
+        PortSpec {
+            channels: 1,
+            clock_div: 1,
+            queue_words: 8,
+            crossing: DEFAULT_CROSSING_CYCLES,
+        }
+    }
+}
+
+/// Design-time parameters of an NI kernel instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NiKernelSpec {
+    /// NI identifier (readable at register [`regs::REG_NI_ID`]).
+    pub ni_id: usize,
+    /// Slot-table size of the STU.
+    pub stu_slots: usize,
+    /// Maximum packet length in words, header included (§4.1: "packets have
+    /// a maximum length to avoid links being used exclusively by a
+    /// packet/channel").
+    pub max_packet_words: usize,
+    /// BE arbitration policy.
+    pub arb: ArbPolicy,
+    /// Ports, in id order.
+    pub ports: Vec<PortSpec>,
+    /// The channel acting as the CNIP slave endpoint (config port), if any.
+    pub cnip_channel: Option<ChannelId>,
+}
+
+impl NiKernelSpec {
+    /// The reference instance synthesized in §5 of the paper: an STU of 8
+    /// slots and 4 ports with 1, 1, 2 and 4 channels, all queues 32-bit wide
+    /// and 8 words deep; port 0 is the configuration port (CNIP on channel
+    /// 0).
+    pub fn reference(ni_id: usize) -> Self {
+        NiKernelSpec {
+            ni_id,
+            stu_slots: 8,
+            max_packet_words: 12,
+            arb: ArbPolicy::RoundRobin,
+            ports: vec![
+                PortSpec {
+                    channels: 1,
+                    ..PortSpec::default()
+                },
+                PortSpec {
+                    channels: 1,
+                    ..PortSpec::default()
+                },
+                PortSpec {
+                    channels: 2,
+                    ..PortSpec::default()
+                },
+                PortSpec {
+                    channels: 4,
+                    ..PortSpec::default()
+                },
+            ],
+            cnip_channel: Some(0),
+        }
+    }
+
+    /// Total channels across all ports.
+    pub fn total_channels(&self) -> usize {
+        self.ports.iter().map(|p| p.channels).sum()
+    }
+}
+
+impl Default for NiKernelSpec {
+    fn default() -> Self {
+        Self::reference(0)
+    }
+}
+
+/// Kernel-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NiKernelStats {
+    /// Packets sent per class (`[GT, BE]`).
+    pub packets_tx: [u64; 2],
+    /// Packets received per class.
+    pub packets_rx: [u64; 2],
+    /// Header words sent.
+    pub header_words_tx: u64,
+    /// Payload words sent.
+    pub payload_words_tx: u64,
+    /// Credit-only packets sent.
+    pub credit_only_tx: u64,
+    /// GT slots that passed unused although reserved (owner not eligible).
+    pub gt_slots_unused: u64,
+    /// Register operations executed through the CNIP.
+    pub cnip_ops: u64,
+    /// Words dropped because they addressed a disabled or unknown queue
+    /// (must stay zero in a correctly configured NoC).
+    pub rx_drops: u64,
+}
+
+/// The NI kernel.
+#[derive(Debug, Clone)]
+pub struct NiKernel {
+    spec: NiKernelSpec,
+    channels: Vec<Channel>,
+    /// First channel id of each port.
+    port_first: Vec<usize>,
+    /// `slot_table[s]`: 0 = free, `ch+1` = reserved for channel `ch`.
+    slot_table: Vec<u32>,
+    arb: ArbState,
+    tx_gt: VecDeque<LinkWord>,
+    tx_be: VecDeque<LinkWord>,
+    /// Per class: destination queue of the packet currently being received.
+    rx_cur: [Option<ChannelId>; 2],
+    cnip: Option<CnipState>,
+    stats: NiKernelStats,
+}
+
+#[derive(Debug, Clone)]
+struct CnipState {
+    channel: ChannelId,
+    asm: MessageAssembler,
+    out: VecDeque<u32>,
+}
+
+impl NiKernel {
+    /// Instantiates a kernel from its design-time spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec exceeds the header encoding limits (more than
+    /// [`noc_sim::header::MAX_QUEUES`] channels), has no ports, or names a
+    /// CNIP channel that does not exist.
+    pub fn new(spec: NiKernelSpec) -> Self {
+        assert!(!spec.ports.is_empty(), "an NI needs at least one port");
+        assert!(
+            spec.stu_slots >= 1 && spec.stu_slots <= 64,
+            "STU size out of range"
+        );
+        assert!(
+            spec.max_packet_words >= 2,
+            "packets need room for a header and data"
+        );
+        let total = spec.total_channels();
+        assert!(
+            total <= noc_sim::header::MAX_QUEUES,
+            "{total} channels exceed the header qid field"
+        );
+        if let Some(c) = spec.cnip_channel {
+            assert!(c < total, "CNIP channel {c} out of range");
+        }
+        let mut channels = Vec::with_capacity(total);
+        let mut port_first = Vec::with_capacity(spec.ports.len());
+        for (p, ps) in spec.ports.iter().enumerate() {
+            assert!(ps.channels >= 1, "port {p} needs at least one channel");
+            assert!(ps.clock_div >= 1, "port {p} clock divisor must be ≥ 1");
+            port_first.push(channels.len());
+            for _ in 0..ps.channels {
+                channels.push(Channel::new(channels.len(), p, ps.queue_words, ps.crossing));
+            }
+        }
+        let cnip = spec.cnip_channel.map(|channel| CnipState {
+            channel,
+            asm: MessageAssembler::new(MsgKind::Request, Ordering::InOrder),
+            out: VecDeque::new(),
+        });
+        NiKernel {
+            slot_table: vec![0; spec.stu_slots],
+            channels,
+            port_first,
+            arb: ArbState::default(),
+            tx_gt: VecDeque::new(),
+            tx_be: VecDeque::new(),
+            rx_cur: [None, None],
+            cnip,
+            stats: NiKernelStats::default(),
+            spec,
+        }
+    }
+
+    /// The design-time spec.
+    pub fn spec(&self) -> &NiKernelSpec {
+        &self.spec
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> &NiKernelStats {
+        &self.stats
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Immutable channel access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    pub fn channel(&self, ch: ChannelId) -> &Channel {
+        &self.channels[ch]
+    }
+
+    /// Channel ids belonging to port `port`.
+    pub fn port_channels(&self, port: usize) -> std::ops::Range<usize> {
+        let first = self.port_first[port];
+        first..first + self.spec.ports[port].channels
+    }
+
+    /// Clock divisor of `port`.
+    pub fn port_clock_div(&self, port: usize) -> u32 {
+        self.spec.ports[port].clock_div
+    }
+
+    /// Current slot-table contents (0 = free, `ch+1` = reserved).
+    pub fn slot_table(&self) -> &[u32] {
+        &self.slot_table
+    }
+
+    // ---- IP/shell-side interface -------------------------------------
+
+    /// Free space in the source queue of `ch` (for shell back-pressure).
+    pub fn src_space(&self, ch: ChannelId) -> usize {
+        self.channels[ch].src_q.space()
+    }
+
+    /// Pushes one word into the source queue of `ch` at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when the queue is full.
+    pub fn push_src(&mut self, ch: ChannelId, word: u32, now: u64) -> Result<(), FifoFullError> {
+        self.channels[ch].src_q.push(word, now)
+    }
+
+    /// Pops one word from the destination queue of `ch`, producing one
+    /// end-to-end credit (§4.1: "when data is consumed by the IP module…
+    /// credits are produced").
+    pub fn pop_dst(&mut self, ch: ChannelId, now: u64) -> Option<u32> {
+        let c = &mut self.channels[ch];
+        let w = c.dst_q.pop(now)?;
+        c.credit_counter += 1;
+        Some(w)
+    }
+
+    /// Peeks the destination queue of `ch`.
+    pub fn peek_dst(&self, ch: ChannelId, now: u64) -> Option<u32> {
+        self.channels[ch].dst_q.peek(now)
+    }
+
+    /// Words visible to the IP side in the destination queue of `ch`.
+    pub fn dst_level(&self, ch: ChannelId, now: u64) -> usize {
+        self.channels[ch].dst_q.sync_level(now)
+    }
+
+    /// Capacity of the destination queue of `ch`, words (what a remote
+    /// sender's `SPACE` register must be initialized to).
+    pub fn dst_capacity(&self, ch: ChannelId) -> usize {
+        self.channels[ch].dst_q_capacity()
+    }
+
+    /// Capacity of the source queue of `ch`, words.
+    pub fn src_capacity(&self, ch: ChannelId) -> usize {
+        self.channels[ch].src_q_capacity()
+    }
+
+    /// Raises the flush signal of `ch` (threshold bypass snapshot, §4.1).
+    pub fn flush(&mut self, ch: ChannelId) {
+        self.channels[ch].flush();
+    }
+
+    /// Forces the credits of `ch` out below their threshold.
+    pub fn flush_credits(&mut self, ch: ChannelId) {
+        self.channels[ch].flush_credits();
+    }
+
+    // ---- Register file ------------------------------------------------
+
+    /// Writes a control register (local access through the configuration
+    /// shell, or remote access through the CNIP).
+    ///
+    /// # Errors
+    ///
+    /// See [`RegError`].
+    pub fn reg_write(&mut self, addr: u32, value: u32) -> Result<(), RegError> {
+        match regs::decode_addr(addr, self.spec.stu_slots, self.channels.len())? {
+            RegAddr::Global(_) => Err(RegError::ReadOnly { addr }),
+            RegAddr::Slot(s) => {
+                if value != 0 && (value - 1) as usize >= self.channels.len() {
+                    return Err(RegError::BadValue { addr, value });
+                }
+                self.slot_table[s] = value;
+                Ok(())
+            }
+            RegAddr::Chan(ch, reg) => {
+                let c = &mut self.channels[ch];
+                match reg {
+                    ChanReg::Ctrl => {
+                        let enable = value & CTRL_ENABLE != 0;
+                        c.gt = value & CTRL_GT != 0;
+                        if !enable && c.enabled {
+                            c.reset_dynamic();
+                        }
+                        c.enabled = enable;
+                    }
+                    ChanReg::Space => c.space = value,
+                    ChanReg::PathRqid => c.path_rqid = value,
+                    ChanReg::DataThreshold => c.data_threshold = value,
+                    ChanReg::CreditThreshold => c.credit_threshold = value,
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a control register.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegError`].
+    pub fn reg_read(&self, addr: u32) -> Result<u32, RegError> {
+        match regs::decode_addr(addr, self.spec.stu_slots, self.channels.len())? {
+            RegAddr::Global(regs::REG_NI_ID) => Ok(self.spec.ni_id as u32),
+            RegAddr::Global(regs::REG_STU_SLOTS) => Ok(self.spec.stu_slots as u32),
+            RegAddr::Global(_) => Ok(self.channels.len() as u32),
+            RegAddr::Slot(s) => Ok(self.slot_table[s]),
+            RegAddr::Chan(ch, reg) => {
+                let c = &self.channels[ch];
+                Ok(match reg {
+                    ChanReg::Ctrl => u32::from(c.enabled) * CTRL_ENABLE + u32::from(c.gt) * CTRL_GT,
+                    ChanReg::Space => c.space,
+                    ChanReg::PathRqid => c.path_rqid,
+                    ChanReg::DataThreshold => c.data_threshold,
+                    ChanReg::CreditThreshold => c.credit_threshold,
+                })
+            }
+        }
+    }
+
+    // ---- Network-side tick ---------------------------------------------
+
+    /// Advances the kernel by one network cycle against its router link.
+    pub fn tick(&mut self, link: &mut NiLink, cycle: u64) {
+        self.depacketize(link, cycle);
+        self.service_cnip(cycle);
+        if cycle.is_multiple_of(SLOT_WORDS) {
+            self.build_packets(cycle);
+        }
+        self.emit(link);
+    }
+
+    fn depacketize(&mut self, link: &mut NiLink, _cycle: u64) {
+        while let Some(w) = link.recv() {
+            let class = w.class().index();
+            if w.is_header() {
+                let qid = usize::from(PacketHeader::qid_of(w.word()));
+                if qid >= self.channels.len() {
+                    self.stats.rx_drops += 1;
+                    self.rx_cur[class] = None;
+                    continue;
+                }
+                self.channels[qid].space += PacketHeader::credits_of(w.word());
+                self.stats.packets_rx[class] += 1;
+                self.rx_cur[class] = if w.is_tail() { None } else { Some(qid) };
+            } else {
+                let Some(ch) = self.rx_cur[class] else {
+                    self.stats.rx_drops += 1;
+                    continue;
+                };
+                // End-to-end flow control guarantees destination space; a
+                // full queue here means the remote Space counter was
+                // misconfigured.
+                self.channels[ch]
+                    .dst_q
+                    .push(w.word(), _cycle)
+                    .expect("end-to-end credits must prevent destination overflow");
+                self.channels[ch].stats.words_rx += 1;
+                if w.is_tail() {
+                    self.rx_cur[class] = None;
+                }
+            }
+        }
+    }
+
+    /// Services the configuration port: one word in or out per cycle
+    /// (a memory-mapped slave operating at line rate).
+    fn service_cnip(&mut self, now: u64) {
+        let Some(mut cnip) = self.cnip.take() else {
+            return;
+        };
+        // Drain one staged response word into the source queue.
+        if let Some(&w) = cnip.out.front() {
+            if self.push_src(cnip.channel, w, now).is_ok() {
+                cnip.out.pop_front();
+            }
+        }
+        // Consume one request word.
+        if let Some(w) = self.pop_dst(cnip.channel, now) {
+            cnip.asm.push_word(w);
+        }
+        // Execute any completed register transaction.
+        while let Some(req) = cnip.asm.next_request() {
+            let resp = self.execute_cnip_request(&req);
+            if let Some(resp) = resp {
+                cnip.out
+                    .extend(ResponseMsg::from_response(&resp, None).encode());
+            }
+        }
+        self.cnip = Some(cnip);
+    }
+
+    fn execute_cnip_request(&mut self, req: &RequestMsg) -> Option<TransactionResponse> {
+        let mut status = RespStatus::Ok;
+        let mut data = Vec::new();
+        match req.cmd {
+            Cmd::Write | Cmd::AckedWrite => {
+                for (i, &w) in req.data.iter().enumerate() {
+                    if self.reg_write(req.addr + i as u32, w).is_err() {
+                        status = RespStatus::DecodeError;
+                    }
+                    self.stats.cnip_ops += 1;
+                }
+            }
+            Cmd::Read | Cmd::ReadLinked => {
+                for i in 0..u32::from(req.length) {
+                    match self.reg_read(req.addr + i) {
+                        Ok(v) => data.push(v),
+                        Err(_) => {
+                            status = RespStatus::DecodeError;
+                            data.push(0);
+                        }
+                    }
+                    self.stats.cnip_ops += 1;
+                }
+            }
+            Cmd::WriteConditional => status = RespStatus::Unsupported,
+        }
+        if req.cmd.has_response() {
+            Some(TransactionResponse {
+                trans_id: req.trans_id,
+                status,
+                data,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of consecutive slots starting at `slot` reserved for `ch`
+    /// (wrapping, capped at the table size).
+    fn slot_run(&self, ch: ChannelId, slot: usize) -> usize {
+        let s = self.spec.stu_slots;
+        let mut run = 0;
+        while run < s && self.slot_table[(slot + run) % s] == (ch + 1) as u32 {
+            run += 1;
+        }
+        run
+    }
+
+    fn build_packets(&mut self, cycle: u64) {
+        let slot = ((cycle / SLOT_WORDS) % self.spec.stu_slots as u64) as usize;
+        // GT: the slot's owner gets the slot (and any consecutive run).
+        if self.tx_gt.is_empty() {
+            if let Some(ch) = self.slot_table[slot].checked_sub(1).map(|c| c as usize) {
+                let c = &self.channels[ch];
+                if c.enabled && c.gt && c.eligible(cycle) {
+                    let run = self.slot_run(ch, slot);
+                    let budget = usize::min(run * SLOT_WORDS as usize, self.spec.max_packet_words);
+                    let words = self.build_packet(ch, WordClass::Guaranteed, budget, cycle);
+                    self.tx_gt = words;
+                } else {
+                    self.stats.gt_slots_unused += 1;
+                }
+            }
+        }
+        // BE: arbitrate among eligible BE channels.
+        if self.tx_be.is_empty() {
+            let eligible: Vec<usize> = (0..self.channels.len())
+                .filter(|&ch| {
+                    let c = &self.channels[ch];
+                    c.enabled && !c.gt && c.eligible(cycle)
+                })
+                .collect();
+            let sendables: Vec<usize> = (0..self.channels.len())
+                .map(|ch| self.channels[ch].sendable(cycle))
+                .collect();
+            if let Some(ch) = self
+                .arb
+                .pick(&self.spec.arb, self.channels.len(), &eligible, |ch| {
+                    sendables[ch]
+                })
+            {
+                let budget = self.spec.max_packet_words;
+                self.tx_be = self.build_packet(ch, WordClass::BestEffort, budget, cycle);
+            }
+        }
+    }
+
+    /// Builds one packet for `ch`: a header carrying the largest possible
+    /// credit return plus as much sendable data as the budget allows (§4.1:
+    /// "once a queue is selected, a packet containing the largest possible
+    /// amount of credits and data will be produced").
+    fn build_packet(
+        &mut self,
+        ch: ChannelId,
+        class: WordClass,
+        budget_words: usize,
+        now: u64,
+    ) -> VecDeque<LinkWord> {
+        let c = &mut self.channels[ch];
+        let credits = u32::min(c.credit_counter, MAX_HEADER_CREDITS);
+        let payload = if c.data_eligible(now) {
+            usize::min(c.sendable(now), budget_words.saturating_sub(1))
+        } else {
+            0
+        };
+        let header = PacketHeader {
+            path: Path::decode(c.path_bits()),
+            qid: c.remote_qid(),
+            credits,
+            flush: c.flush_remaining > 0,
+        };
+        c.credit_counter -= credits;
+        c.credit_flush = c.credit_flush && c.credit_counter > 0;
+        c.space -= payload as u32;
+        c.flush_remaining = c.flush_remaining.saturating_sub(payload as u32);
+        c.stats.packets_tx += 1;
+        c.stats.credits_tx += u64::from(credits);
+        c.stats.words_tx += payload as u64;
+        self.stats.packets_tx[class.index()] += 1;
+        self.stats.header_words_tx += 1;
+        self.stats.payload_words_tx += payload as u64;
+        if payload == 0 {
+            self.stats.credit_only_tx += 1;
+            c.stats.credit_only_tx += 1;
+        }
+        let mut words = VecDeque::with_capacity(payload + 1);
+        if payload == 0 {
+            words.push_back(LinkWord::header_only(header.pack(), class));
+        } else {
+            words.push_back(LinkWord::header(header.pack(), class));
+            for i in 0..payload {
+                let w = c.src_q.pop(now).expect("sendable counted visible words");
+                words.push_back(LinkWord::payload(w, class, i + 1 == payload));
+            }
+        }
+        words
+    }
+
+    fn emit(&mut self, link: &mut NiLink) {
+        if link.is_busy() {
+            return;
+        }
+        if let Some(w) = self.tx_gt.pop_front() {
+            link.send(w);
+        } else if !self.tx_be.is_empty() && link.be_credits() > 0 {
+            let w = self.tx_be.pop_front().expect("checked non-empty");
+            link.send(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::{Noc, Topology};
+
+    /// Two reference NIs on a 2-router mesh, with channel 1 of NI0 paired
+    /// to channel 1 of NI1 (both directions configured directly).
+    fn paired_setup(gt: bool) -> (Noc, NiKernel, NiKernel, Topology) {
+        let topo = Topology::mesh(2, 1, 1);
+        let noc = Noc::new(&topo);
+        let mut k0 = NiKernel::new(NiKernelSpec::reference(0));
+        let mut k1 = NiKernel::new(NiKernelSpec::reference(1));
+        let p01 = topo.route(0, 1).unwrap();
+        let p10 = topo.route(1, 0).unwrap();
+        let ctrl = CTRL_ENABLE | if gt { CTRL_GT } else { 0 };
+        k0.reg_write(chan_reg_addr(1, ChanReg::Ctrl), ctrl).unwrap();
+        k0.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+        k0.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(&p01, 1))
+            .unwrap();
+        k1.reg_write(chan_reg_addr(1, ChanReg::Ctrl), ctrl).unwrap();
+        k1.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+        k1.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(&p10, 1))
+            .unwrap();
+        if gt {
+            // NI0 owns slots 0-1, NI1 owns slots 4-5 (disjoint on the
+            // shared link after the 1-slot pipeline shift).
+            k0.reg_write(slot_reg_addr(0), 2).unwrap();
+            k0.reg_write(slot_reg_addr(1), 2).unwrap();
+            k1.reg_write(slot_reg_addr(4), 2).unwrap();
+            k1.reg_write(slot_reg_addr(5), 2).unwrap();
+        }
+        (noc, k0, k1, topo)
+    }
+
+    fn run(noc: &mut Noc, k0: &mut NiKernel, k1: &mut NiKernel, cycles: u64) {
+        for _ in 0..cycles {
+            let cycle = noc.cycle();
+            {
+                let link = noc.ni_link_mut(0);
+                k0.tick(link, cycle);
+            }
+            {
+                let link = noc.ni_link_mut(1);
+                k1.tick(link, cycle);
+            }
+            noc.tick();
+        }
+    }
+
+    #[test]
+    fn be_words_flow_end_to_end() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(false);
+        for w in 0..5u32 {
+            k0.push_src(1, 100 + w, 0).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 60);
+        let mut got = Vec::new();
+        while let Some(w) = k1.pop_dst(1, noc.cycle()) {
+            got.push(w);
+        }
+        assert_eq!(got, vec![100, 101, 102, 103, 104]);
+        assert_eq!(noc.gt_conflicts(), 0);
+        assert_eq!(k1.stats().rx_drops, 0);
+    }
+
+    #[test]
+    fn gt_words_flow_in_reserved_slots() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(true);
+        for w in 0..5u32 {
+            k0.push_src(1, 200 + w, 0).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 80);
+        let mut got = Vec::new();
+        while let Some(w) = k1.pop_dst(1, noc.cycle()) {
+            got.push(w);
+        }
+        assert_eq!(got, vec![200, 201, 202, 203, 204]);
+        assert_eq!(noc.gt_conflicts(), 0);
+        assert!(k0.stats().packets_tx[WordClass::Guaranteed.index()] > 0);
+        assert_eq!(k0.stats().packets_tx[WordClass::BestEffort.index()], 0);
+    }
+
+    #[test]
+    fn space_counter_limits_inflight_data() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(false);
+        // Remote queue is 8 deep; offer 20 words and never drain NI1.
+        let mut pushed = 0u32;
+        for _ in 0..300 {
+            let cycle = noc.cycle();
+            if pushed < 20 && k0.src_space(1) > 0 {
+                k0.push_src(1, pushed, cycle).unwrap();
+                pushed += 1;
+            }
+            {
+                let link = noc.ni_link_mut(0);
+                k0.tick(link, cycle);
+            }
+            {
+                let link = noc.ni_link_mut(1);
+                k1.tick(link, cycle);
+            }
+            noc.tick();
+        }
+        // Exactly the remote buffer size arrived; the rest is blocked.
+        assert_eq!(k1.dst_level(1, noc.cycle()), 8);
+        assert_eq!(k0.channel(1).space(), 0);
+        // Consuming data produces credits that release more words.
+        let now = noc.cycle();
+        for _ in 0..4 {
+            k1.pop_dst(1, now).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 100);
+        assert_eq!(k1.dst_level(1, noc.cycle()), 8, "freed space was refilled");
+    }
+
+    #[test]
+    fn credits_piggyback_on_reverse_traffic() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(false);
+        // A high credit threshold keeps credits waiting for reverse data to
+        // piggyback on (instead of going out as credit-only packets).
+        k1.reg_write(chan_reg_addr(1, ChanReg::CreditThreshold), 31)
+            .unwrap();
+        // Prime: NI0 sends 4 words, NI1 consumes them (credits accumulate).
+        for w in 0..4u32 {
+            k0.push_src(1, w, 0).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 60);
+        let now = noc.cycle();
+        for _ in 0..4 {
+            k1.pop_dst(1, now).unwrap();
+        }
+        assert_eq!(k1.channel(1).credits_pending(), 4);
+        // Reverse data from NI1 carries the credits back.
+        k1.push_src(1, 0xBEEF, now).unwrap();
+        run(&mut noc, &mut k0, &mut k1, 60);
+        assert_eq!(k1.channel(1).credits_pending(), 0, "credits piggybacked");
+        assert_eq!(k0.channel(1).space(), 8, "space restored at the sender");
+        assert_eq!(k1.stats().credit_only_tx, 0, "no credit-only packet needed");
+    }
+
+    #[test]
+    fn credit_threshold_batches_credit_packets() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(false);
+        k1.reg_write(chan_reg_addr(1, ChanReg::CreditThreshold), 4)
+            .unwrap();
+        for w in 0..6u32 {
+            k0.push_src(1, w, 0).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 60);
+        // Consume 3 words: below the credit threshold, nothing goes back.
+        let now = noc.cycle();
+        for _ in 0..3 {
+            k1.pop_dst(1, now).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 40);
+        assert_eq!(k1.channel(1).credits_pending(), 3, "held below threshold");
+        // One more pop reaches the threshold: a credit-only packet flows.
+        k1.pop_dst(1, noc.cycle()).unwrap();
+        run(&mut noc, &mut k0, &mut k1, 40);
+        assert_eq!(k1.channel(1).credits_pending(), 0);
+        assert_eq!(k1.stats().credit_only_tx, 1);
+        assert_eq!(k0.channel(1).space(), 8 - 6 + 4);
+    }
+
+    #[test]
+    fn credit_flush_forces_credits_out() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(false);
+        k1.reg_write(chan_reg_addr(1, ChanReg::CreditThreshold), 8)
+            .unwrap();
+        for w in 0..2u32 {
+            k0.push_src(1, w, 0).unwrap();
+        }
+        run(&mut noc, &mut k0, &mut k1, 60);
+        let now = noc.cycle();
+        k1.pop_dst(1, now).unwrap();
+        run(&mut noc, &mut k0, &mut k1, 30);
+        assert_eq!(k1.channel(1).credits_pending(), 1);
+        k1.flush_credits(1);
+        run(&mut noc, &mut k0, &mut k1, 30);
+        assert_eq!(k1.channel(1).credits_pending(), 0);
+    }
+
+    #[test]
+    fn data_threshold_skips_short_queues_and_flush_overrides() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(false);
+        k0.reg_write(chan_reg_addr(1, ChanReg::DataThreshold), 4)
+            .unwrap();
+        k0.push_src(1, 7, 0).unwrap();
+        run(&mut noc, &mut k0, &mut k1, 60);
+        assert_eq!(
+            k1.dst_level(1, noc.cycle()),
+            0,
+            "below threshold: held back"
+        );
+        k0.flush(1);
+        run(&mut noc, &mut k0, &mut k1, 60);
+        assert_eq!(k1.dst_level(1, noc.cycle()), 1, "flush pushed it through");
+    }
+
+    #[test]
+    fn cnip_executes_remote_register_writes() {
+        // Configure NI0 channel 0 (the CNIP connection) toward NI1's CNIP
+        // (channel 0) and send a register-write request message.
+        let topo = Topology::mesh(2, 1, 1);
+        let mut noc = Noc::new(&topo);
+        let mut k0 = NiKernel::new(NiKernelSpec::reference(0));
+        let mut k1 = NiKernel::new(NiKernelSpec::reference(1));
+        let p01 = topo.route(0, 1).unwrap();
+        let p10 = topo.route(1, 0).unwrap();
+        // Request channel NI0→NI1 (local writes at NI0).
+        k0.reg_write(chan_reg_addr(0, ChanReg::Ctrl), CTRL_ENABLE)
+            .unwrap();
+        k0.reg_write(chan_reg_addr(0, ChanReg::Space), 8).unwrap();
+        k0.reg_write(chan_reg_addr(0, ChanReg::PathRqid), pack_path_rqid(&p01, 0))
+            .unwrap();
+        // Response channel NI1→NI0 (configured directly for this unit test;
+        // the cfg crate does it through the NoC per Fig. 9).
+        k1.reg_write(chan_reg_addr(0, ChanReg::Ctrl), CTRL_ENABLE)
+            .unwrap();
+        k1.reg_write(chan_reg_addr(0, ChanReg::Space), 8).unwrap();
+        k1.reg_write(chan_reg_addr(0, ChanReg::PathRqid), pack_path_rqid(&p10, 0))
+            .unwrap();
+        // Acked write of SPACE=5 into NI1's channel-3 block.
+        let t = crate::transaction::Transaction::acked_write(
+            chan_reg_addr(3, ChanReg::Space),
+            vec![5],
+            0x42,
+        );
+        let msg = RequestMsg::from_transaction(&t, None).encode();
+        for (i, w) in msg.iter().enumerate() {
+            k0.push_src(0, *w, i as u64).unwrap();
+        }
+        let mut resp_words = Vec::new();
+        for _ in 0..300 {
+            let cycle = noc.cycle();
+            {
+                let link = noc.ni_link_mut(0);
+                k0.tick(link, cycle);
+            }
+            {
+                let link = noc.ni_link_mut(1);
+                k1.tick(link, cycle);
+            }
+            noc.tick();
+            // NI0's CNIP is also channel 0 here, so pop via kernel API
+            // would recurse into its own CNIP; use a raw drain instead.
+            let now = noc.cycle();
+            while let Some(w) = k0.pop_dst(0, now) {
+                resp_words.push(w);
+            }
+        }
+        assert_eq!(k1.reg_read(chan_reg_addr(3, ChanReg::Space)).unwrap(), 5);
+        assert!(k1.stats().cnip_ops >= 1);
+        // But wait: NI0's channel 0 is its own CNIP, so the ack response
+        // was consumed by NI0's CNIP service loop rather than our drain.
+        // Either way the write took effect; the full Fig. 9 flow (with a
+        // dedicated Cfg data port) lives in the aethereal-cfg tests.
+    }
+
+    #[test]
+    fn reg_roundtrip_and_close_resets() {
+        let mut k = NiKernel::new(NiKernelSpec::reference(0));
+        k.reg_write(chan_reg_addr(2, ChanReg::Space), 8).unwrap();
+        k.reg_write(chan_reg_addr(2, ChanReg::Ctrl), CTRL_ENABLE | CTRL_GT)
+            .unwrap();
+        assert_eq!(k.reg_read(chan_reg_addr(2, ChanReg::Ctrl)).unwrap(), 0b11);
+        assert!(k.channel(2).is_gt());
+        k.push_src(2, 1, 0).unwrap();
+        // Closing resets queues and counters.
+        k.reg_write(chan_reg_addr(2, ChanReg::Ctrl), 0).unwrap();
+        assert!(!k.channel(2).is_enabled());
+        assert_eq!(k.channel(2).src_level(), 0);
+        assert_eq!(k.channel(2).space(), 0);
+    }
+
+    #[test]
+    fn slot_table_validation() {
+        let mut k = NiKernel::new(NiKernelSpec::reference(0));
+        assert!(k.reg_write(slot_reg_addr(0), 8).is_ok()); // channel 7 exists
+        assert!(k.reg_write(slot_reg_addr(0), 9).is_err()); // channel 8 doesn't
+        assert!(k.reg_write(slot_reg_addr(0), 0).is_ok());
+        assert_eq!(k.reg_read(regs::REG_STU_SLOTS).unwrap(), 8);
+        assert_eq!(k.reg_read(regs::REG_CHAN_COUNT).unwrap(), 8);
+    }
+
+    #[test]
+    fn globals_are_read_only() {
+        let mut k = NiKernel::new(NiKernelSpec::reference(3));
+        assert_eq!(k.reg_read(regs::REG_NI_ID).unwrap(), 3);
+        assert!(matches!(
+            k.reg_write(regs::REG_NI_ID, 9),
+            Err(RegError::ReadOnly { .. })
+        ));
+    }
+
+    #[test]
+    fn gt_unused_slots_counted() {
+        let (mut noc, mut k0, mut k1, _) = paired_setup(true);
+        // No data at all: every pass over slots 0-1 counts unused.
+        run(&mut noc, &mut k0, &mut k1, 48); // two table periods
+        assert!(k0.stats().gt_slots_unused >= 2);
+    }
+
+    #[test]
+    fn port_channel_mapping() {
+        let k = NiKernel::new(NiKernelSpec::reference(0));
+        assert_eq!(k.port_channels(0), 0..1);
+        assert_eq!(k.port_channels(1), 1..2);
+        assert_eq!(k.port_channels(2), 2..4);
+        assert_eq!(k.port_channels(3), 4..8);
+        assert_eq!(k.channel_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "qid field")]
+    fn too_many_channels_rejected() {
+        let spec = NiKernelSpec {
+            ports: vec![PortSpec {
+                channels: 33,
+                ..PortSpec::default()
+            }],
+            ..NiKernelSpec::reference(0)
+        };
+        let _ = NiKernel::new(spec);
+    }
+}

@@ -1,0 +1,247 @@
+//! The memory-mapped register file of an NI.
+//!
+//! §4.3 of the paper: *"NIs are configured via a configuration port (CNIP),
+//! which offers a memory-mapped view on all control registers in the NIs.
+//! This means that the registers in the NI are readable and writable by any
+//! master using normal read and write transactions."*
+//!
+//! Address map (word addresses within one NI's 16-bit register space):
+//!
+//! ```text
+//! 0x0000          NI_ID        (ro)
+//! 0x0001          STU_SLOTS    (ro)
+//! 0x0002          CHAN_COUNT   (ro)
+//! 0x0080 + s      SLOT[s]      slot-table entry: 0 = free, ch+1 = reserved
+//! 0x0100 + 8c + r channel c, register r:
+//!     r = 0  CTRL       bit0 enable, bit1 GT (write enable=0 closes the
+//!                        channel and resets its dynamic state)
+//!     r = 1  SPACE      remote destination-buffer size (initializes the
+//!                        Space counter)
+//!     r = 2  PATH_RQID  bits 20..0 source route, bits 25..21 remote qid
+//!     r = 3  DATA_THRESHOLD
+//!     r = 4  CREDIT_THRESHOLD
+//! ```
+//!
+//! The minimal per-channel setup is exactly three writes — `CTRL`, `SPACE`,
+//! `PATH_RQID` — matching Fig. 9's `wr be,enable / wr space / wr path,rqid`
+//! sequence and the paper's "3 registers written at the slave NI"; a master
+//! side additionally writes the two thresholds ("5 registers at the master
+//! NI") plus slot-table entries for GT channels.
+
+use serde::{Deserialize, Serialize};
+
+/// Base address of the slot-table registers.
+pub const SLOT_BASE: u32 = 0x0080;
+
+/// Base address of the per-channel register blocks.
+pub const CHAN_BASE: u32 = 0x0100;
+
+/// Register stride between channel blocks.
+pub const CHAN_STRIDE: u32 = 8;
+
+/// Read-only NI id register.
+pub const REG_NI_ID: u32 = 0x0000;
+/// Read-only slot-table size register.
+pub const REG_STU_SLOTS: u32 = 0x0001;
+/// Read-only channel-count register.
+pub const REG_CHAN_COUNT: u32 = 0x0002;
+
+/// Per-channel register offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChanReg {
+    /// Enable / GT control.
+    Ctrl,
+    /// Remote buffer space.
+    Space,
+    /// Packed path + remote qid.
+    PathRqid,
+    /// Data threshold.
+    DataThreshold,
+    /// Credit threshold.
+    CreditThreshold,
+}
+
+impl ChanReg {
+    /// Register offset within the channel block.
+    pub fn offset(self) -> u32 {
+        match self {
+            ChanReg::Ctrl => 0,
+            ChanReg::Space => 1,
+            ChanReg::PathRqid => 2,
+            ChanReg::DataThreshold => 3,
+            ChanReg::CreditThreshold => 4,
+        }
+    }
+
+    /// Decodes an offset.
+    pub fn from_offset(off: u32) -> Option<Self> {
+        Some(match off {
+            0 => ChanReg::Ctrl,
+            1 => ChanReg::Space,
+            2 => ChanReg::PathRqid,
+            3 => ChanReg::DataThreshold,
+            4 => ChanReg::CreditThreshold,
+            _ => return None,
+        })
+    }
+}
+
+/// `CTRL` bit 0: channel enabled.
+pub const CTRL_ENABLE: u32 = 0b01;
+/// `CTRL` bit 1: guaranteed-throughput channel.
+pub const CTRL_GT: u32 = 0b10;
+
+/// The word address of channel `ch` register `reg`.
+pub fn chan_reg_addr(ch: usize, reg: ChanReg) -> u32 {
+    CHAN_BASE + ch as u32 * CHAN_STRIDE + reg.offset()
+}
+
+/// The word address of slot-table entry `slot`.
+pub fn slot_reg_addr(slot: usize) -> u32 {
+    SLOT_BASE + slot as u32
+}
+
+/// Packs the `PATH_RQID` register value.
+pub fn pack_path_rqid(path: &noc_sim::Path, remote_qid: u8) -> u32 {
+    path.encode() | (u32::from(remote_qid) << noc_sim::path::PATH_BITS)
+}
+
+/// A decoded register address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegAddr {
+    /// A global read-only register.
+    Global(u32),
+    /// A slot-table entry.
+    Slot(usize),
+    /// A channel register.
+    Chan(usize, ChanReg),
+}
+
+/// Register access errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegError {
+    /// The address maps to no register.
+    BadAddress {
+        /// The offending word address.
+        addr: u32,
+    },
+    /// Write to a read-only register.
+    ReadOnly {
+        /// The offending word address.
+        addr: u32,
+    },
+    /// A value was out of range (e.g. slot entry beyond the channel count).
+    BadValue {
+        /// The offending word address.
+        addr: u32,
+        /// The rejected value.
+        value: u32,
+    },
+}
+
+impl std::fmt::Display for RegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegError::BadAddress { addr } => write!(f, "no register at {addr:#06x}"),
+            RegError::ReadOnly { addr } => write!(f, "register {addr:#06x} is read-only"),
+            RegError::BadValue { addr, value } => {
+                write!(f, "value {value:#x} rejected at {addr:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegError {}
+
+/// Decodes a word address against an NI with `stu_slots` slots and
+/// `n_channels` channels.
+pub fn decode_addr(addr: u32, stu_slots: usize, n_channels: usize) -> Result<RegAddr, RegError> {
+    match addr {
+        REG_NI_ID | REG_STU_SLOTS | REG_CHAN_COUNT => Ok(RegAddr::Global(addr)),
+        a if (SLOT_BASE..SLOT_BASE + stu_slots as u32).contains(&a) => {
+            Ok(RegAddr::Slot((a - SLOT_BASE) as usize))
+        }
+        a if a >= CHAN_BASE => {
+            let ch = ((a - CHAN_BASE) / CHAN_STRIDE) as usize;
+            let off = (a - CHAN_BASE) % CHAN_STRIDE;
+            if ch >= n_channels {
+                return Err(RegError::BadAddress { addr });
+            }
+            let reg = ChanReg::from_offset(off).ok_or(RegError::BadAddress { addr })?;
+            Ok(RegAddr::Chan(ch, reg))
+        }
+        _ => Err(RegError::BadAddress { addr }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chan_addr_layout() {
+        assert_eq!(chan_reg_addr(0, ChanReg::Ctrl), 0x100);
+        assert_eq!(chan_reg_addr(0, ChanReg::CreditThreshold), 0x104);
+        assert_eq!(chan_reg_addr(2, ChanReg::Space), 0x111);
+    }
+
+    #[test]
+    fn decode_globals() {
+        assert_eq!(decode_addr(0, 8, 4), Ok(RegAddr::Global(REG_NI_ID)));
+        assert_eq!(decode_addr(1, 8, 4), Ok(RegAddr::Global(REG_STU_SLOTS)));
+        assert_eq!(decode_addr(2, 8, 4), Ok(RegAddr::Global(REG_CHAN_COUNT)));
+    }
+
+    #[test]
+    fn decode_slots_bounds() {
+        assert_eq!(decode_addr(SLOT_BASE, 8, 4), Ok(RegAddr::Slot(0)));
+        assert_eq!(decode_addr(SLOT_BASE + 7, 8, 4), Ok(RegAddr::Slot(7)));
+        assert!(decode_addr(SLOT_BASE + 8, 8, 4).is_err());
+    }
+
+    #[test]
+    fn decode_chan_bounds() {
+        assert_eq!(
+            decode_addr(chan_reg_addr(3, ChanReg::PathRqid), 8, 4),
+            Ok(RegAddr::Chan(3, ChanReg::PathRqid))
+        );
+        assert!(decode_addr(chan_reg_addr(4, ChanReg::Ctrl), 8, 4).is_err());
+        // Offsets 5..7 within a block are holes.
+        assert!(decode_addr(CHAN_BASE + 5, 8, 4).is_err());
+    }
+
+    #[test]
+    fn reg_offsets_roundtrip() {
+        for reg in [
+            ChanReg::Ctrl,
+            ChanReg::Space,
+            ChanReg::PathRqid,
+            ChanReg::DataThreshold,
+            ChanReg::CreditThreshold,
+        ] {
+            assert_eq!(ChanReg::from_offset(reg.offset()), Some(reg));
+        }
+        assert_eq!(ChanReg::from_offset(7), None);
+    }
+
+    #[test]
+    fn pack_path_rqid_matches_channel_decoding() {
+        let path = noc_sim::Path::new(&[1, 2, 4]).unwrap();
+        let v = pack_path_rqid(&path, 9);
+        assert_eq!(v & ((1 << noc_sim::path::PATH_BITS) - 1), path.encode());
+        assert_eq!(v >> noc_sim::path::PATH_BITS, 9);
+    }
+
+    #[test]
+    fn minimal_setup_is_three_registers() {
+        // The paper's Fig. 9 writes exactly CTRL, SPACE and PATH_RQID per
+        // channel; assert they are distinct addresses within one block.
+        let addrs = [
+            chan_reg_addr(1, ChanReg::Ctrl),
+            chan_reg_addr(1, ChanReg::Space),
+            chan_reg_addr(1, ChanReg::PathRqid),
+        ];
+        assert_eq!(addrs.len(), 3);
+        assert!(addrs.windows(2).all(|w| w[1] == w[0] + 1), "burst-writable");
+    }
+}

@@ -1,0 +1,162 @@
+//! Best-effort channel arbitration.
+//!
+//! §4.1 of the paper: *"the scheduler selects a BE channel with data and
+//! remote space using some arbitration scheme: e.g. round-robin, weighted
+//! round-robin, or based on the queue filling."* All three are implemented
+//! and selectable per NI instance; the E10 bench ablates them.
+
+use serde::{Deserialize, Serialize};
+
+/// The BE arbitration scheme of an NI kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ArbPolicy {
+    /// Plain round-robin over eligible channels.
+    #[default]
+    RoundRobin,
+    /// Smooth weighted round-robin: each arbitration adds every eligible
+    /// channel's weight to its running counter, the largest counter wins and
+    /// pays the total weight.
+    WeightedRoundRobin(
+        /// Per-channel weights (missing channels default to 1).
+        Vec<u32>,
+    ),
+    /// Pick the eligible channel with the most sendable data (queue-filling
+    /// based).
+    QueueFill,
+}
+
+/// Arbitration state held by the kernel.
+#[derive(Debug, Clone, Default)]
+pub struct ArbState {
+    rr_next: usize,
+    wrr_counter: Vec<i64>,
+}
+
+impl ArbState {
+    /// Picks a winner among the `eligible` channel ids. `sendable` returns
+    /// the sendable words of a channel (used by [`ArbPolicy::QueueFill`]).
+    ///
+    /// Returns `None` when `eligible` is empty.
+    pub fn pick(
+        &mut self,
+        policy: &ArbPolicy,
+        n_channels: usize,
+        eligible: &[usize],
+        mut sendable: impl FnMut(usize) -> usize,
+    ) -> Option<usize> {
+        if eligible.is_empty() {
+            return None;
+        }
+        match policy {
+            ArbPolicy::RoundRobin => {
+                let winner = (0..n_channels)
+                    .map(|k| (self.rr_next + k) % n_channels)
+                    .find(|ch| eligible.contains(ch))?;
+                self.rr_next = (winner + 1) % n_channels;
+                Some(winner)
+            }
+            ArbPolicy::WeightedRoundRobin(weights) => {
+                if self.wrr_counter.len() < n_channels {
+                    self.wrr_counter.resize(n_channels, 0);
+                }
+                let weight = |ch: usize| i64::from(*weights.get(ch).unwrap_or(&1).max(&1));
+                let mut total = 0i64;
+                for &ch in eligible {
+                    self.wrr_counter[ch] += weight(ch);
+                    total += weight(ch);
+                }
+                let &winner = eligible
+                    .iter()
+                    .max_by_key(|&&ch| (self.wrr_counter[ch], std::cmp::Reverse(ch)))
+                    .expect("eligible non-empty");
+                self.wrr_counter[winner] -= total;
+                Some(winner)
+            }
+            ArbPolicy::QueueFill => eligible
+                .iter()
+                .copied()
+                .max_by_key(|&ch| (sendable(ch), std::cmp::Reverse(ch))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_fairly() {
+        let mut s = ArbState::default();
+        let policy = ArbPolicy::RoundRobin;
+        let elig = vec![0, 1, 2];
+        let picks: Vec<_> = (0..6)
+            .map(|_| s.pick(&policy, 3, &elig, |_| 1).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_ineligible() {
+        let mut s = ArbState::default();
+        let policy = ArbPolicy::RoundRobin;
+        let picks: Vec<_> = (0..4)
+            .map(|_| s.pick(&policy, 4, &[1, 3], |_| 1).unwrap())
+            .collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn empty_eligible_returns_none() {
+        let mut s = ArbState::default();
+        assert_eq!(s.pick(&ArbPolicy::RoundRobin, 4, &[], |_| 0), None);
+        assert_eq!(s.pick(&ArbPolicy::QueueFill, 4, &[], |_| 0), None);
+    }
+
+    #[test]
+    fn wrr_respects_weights() {
+        let mut s = ArbState::default();
+        let policy = ArbPolicy::WeightedRoundRobin(vec![3, 1]);
+        let elig = vec![0, 1];
+        let picks: Vec<_> = (0..8)
+            .map(|_| s.pick(&policy, 2, &elig, |_| 1).unwrap())
+            .collect();
+        let wins0 = picks.iter().filter(|&&p| p == 0).count();
+        let wins1 = picks.iter().filter(|&&p| p == 1).count();
+        assert_eq!(wins0, 6, "weight-3 channel wins 3 of every 4: {picks:?}");
+        assert_eq!(wins1, 2);
+    }
+
+    #[test]
+    fn wrr_default_weight_is_one() {
+        let mut s = ArbState::default();
+        let policy = ArbPolicy::WeightedRoundRobin(vec![]);
+        let elig = vec![0, 1];
+        let picks: Vec<_> = (0..4)
+            .map(|_| s.pick(&policy, 2, &elig, |_| 1).unwrap())
+            .collect();
+        let wins0 = picks.iter().filter(|&&p| p == 0).count();
+        assert_eq!(wins0, 2);
+    }
+
+    #[test]
+    fn queue_fill_prefers_fullest() {
+        let mut s = ArbState::default();
+        let fills = [2usize, 9, 5];
+        let pick = s
+            .pick(&ArbPolicy::QueueFill, 3, &[0, 1, 2], |ch| fills[ch])
+            .unwrap();
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn queue_fill_tie_breaks_low_id() {
+        let mut s = ArbState::default();
+        let pick = s.pick(&ArbPolicy::QueueFill, 3, &[0, 1, 2], |_| 4).unwrap();
+        assert_eq!(pick, 0);
+    }
+
+    #[test]
+    fn default_policy_is_round_robin() {
+        assert_eq!(ArbPolicy::default(), ArbPolicy::RoundRobin);
+    }
+}

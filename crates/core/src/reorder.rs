@@ -1,0 +1,218 @@
+//! Sequence-number reordering for *unordered* channels.
+//!
+//! §2 of the paper lists "in order or un-ordered message delivery" among
+//! the configurable channel properties, and Fig. 7 shows the sequence
+//! number trailing both message formats. In-order channels (the prototype
+//! default) omit it; an unordered connection — e.g. one whose messages are
+//! striped over multiple channels with different routes — tags every
+//! message and restores order at the consumer with this reorder buffer.
+
+use std::collections::BTreeMap;
+
+/// A bounded reorder buffer releasing messages in sequence-number order.
+///
+/// # Example
+///
+/// ```
+/// use aethereal_ni::reorder::ReorderBuffer;
+/// let mut rb = ReorderBuffer::new(0, 8);
+/// assert!(rb.insert(1, "b").is_ok());
+/// assert_eq!(rb.pop(), None);          // 0 still missing
+/// assert!(rb.insert(0, "a").is_ok());
+/// assert_eq!(rb.pop(), Some("a"));
+/// assert_eq!(rb.pop(), Some("b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer<T> {
+    next: u32,
+    window: u32,
+    held: BTreeMap<u32, T>,
+}
+
+/// Errors inserting into a [`ReorderBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorderError {
+    /// The sequence number was already delivered or held (duplicate).
+    Duplicate {
+        /// The offending sequence number.
+        seq: u32,
+    },
+    /// The sequence number lies beyond the reorder window.
+    OutOfWindow {
+        /// The offending sequence number.
+        seq: u32,
+        /// First sequence number still awaited.
+        expected: u32,
+        /// Window size.
+        window: u32,
+    },
+}
+
+impl std::fmt::Display for ReorderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReorderError::Duplicate { seq } => write!(f, "duplicate sequence number {seq}"),
+            ReorderError::OutOfWindow {
+                seq,
+                expected,
+                window,
+            } => {
+                write!(
+                    f,
+                    "sequence {seq} outside window [{expected}, {expected}+{window})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReorderError {}
+
+impl<T> ReorderBuffer<T> {
+    /// Creates a buffer expecting `first` next, holding at most `window`
+    /// out-of-order entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(first: u32, window: u32) -> Self {
+        assert!(window > 0, "reorder window must be positive");
+        ReorderBuffer {
+            next: first,
+            window,
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Sequence number expected next.
+    pub fn expected(&self) -> u32 {
+        self.next
+    }
+
+    /// Entries currently held out of order.
+    pub fn held(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Inserts a message with its sequence number (wrapping arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReorderError`].
+    pub fn insert(&mut self, seq: u32, value: T) -> Result<(), ReorderError> {
+        let ahead = seq.wrapping_sub(self.next);
+        if ahead >= self.window {
+            // Behind `next` (already delivered) or too far ahead.
+            return if ahead >= u32::MAX / 2 {
+                Err(ReorderError::Duplicate { seq })
+            } else {
+                Err(ReorderError::OutOfWindow {
+                    seq,
+                    expected: self.next,
+                    window: self.window,
+                })
+            };
+        }
+        if self.held.contains_key(&ahead) {
+            return Err(ReorderError::Duplicate { seq });
+        }
+        self.held.insert(ahead, value);
+        Ok(())
+    }
+
+    /// Releases the next in-order message, if it has arrived.
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.held.remove(&0)?;
+        self.next = self.next.wrapping_add(1);
+        // Re-key the remaining entries relative to the new head.
+        let old = std::mem::take(&mut self.held);
+        for (k, val) in old {
+            self.held.insert(k - 1, val);
+        }
+        Some(v)
+    }
+
+    /// Drains every message that is now in order.
+    pub fn pop_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_passthrough() {
+        let mut rb = ReorderBuffer::new(0, 4);
+        for i in 0..10u32 {
+            rb.insert(i, i).unwrap();
+            assert_eq!(rb.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn reorders_a_permutation() {
+        let mut rb = ReorderBuffer::new(0, 8);
+        for &s in &[3u32, 0, 2, 1, 5, 4] {
+            rb.insert(s, s).unwrap();
+        }
+        assert_eq!(rb.pop_ready(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rb.expected(), 6);
+        assert_eq!(rb.held(), 0);
+    }
+
+    #[test]
+    fn holds_until_gap_fills() {
+        let mut rb = ReorderBuffer::new(10, 4);
+        rb.insert(11, "b").unwrap();
+        rb.insert(12, "c").unwrap();
+        assert_eq!(rb.pop(), None);
+        assert_eq!(rb.held(), 2);
+        rb.insert(10, "a").unwrap();
+        assert_eq!(rb.pop_ready(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut rb = ReorderBuffer::new(0, 4);
+        rb.insert(1, ()).unwrap();
+        assert_eq!(rb.insert(1, ()), Err(ReorderError::Duplicate { seq: 1 }));
+        rb.insert(0, ()).unwrap();
+        let _ = rb.pop_ready();
+        assert_eq!(rb.insert(0, ()), Err(ReorderError::Duplicate { seq: 0 }));
+    }
+
+    #[test]
+    fn out_of_window_rejected() {
+        let mut rb = ReorderBuffer::new(0, 4);
+        assert_eq!(
+            rb.insert(4, ()),
+            Err(ReorderError::OutOfWindow {
+                seq: 4,
+                expected: 0,
+                window: 4
+            })
+        );
+    }
+
+    #[test]
+    fn wrapping_sequence_numbers() {
+        let mut rb = ReorderBuffer::new(u32::MAX - 1, 4);
+        rb.insert(u32::MAX, "b").unwrap();
+        rb.insert(u32::MAX - 1, "a").unwrap();
+        rb.insert(0, "c").unwrap();
+        assert_eq!(rb.pop_ready(), vec!["a", "b", "c"]);
+        assert_eq!(rb.expected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _: ReorderBuffer<()> = ReorderBuffer::new(0, 0);
+    }
+}

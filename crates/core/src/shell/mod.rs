@@ -1,0 +1,27 @@
+//! NI shells (Figs. 3–6 of the paper): plug-in modules around the NI kernel
+//! that implement connection types and protocol adapters.
+//!
+//! *"Note that these shells add specific functionality, and can be plugged
+//! in or left out at design time according to the requirements."* (§4.2)
+//!
+//! * [`master::MasterStack`] — the master protocol adapter (Fig. 5):
+//!   sequentializes commands, flags, addresses and write data into request
+//!   messages and desequentializes responses; optionally composed with a
+//!   narrowcast (Fig. 3) or multicast connection shell.
+//! * [`slave::SlaveStack`] — the slave adapter (Fig. 6), optionally with the
+//!   multi-connection shell (Fig. 4) that schedules between connections for
+//!   a connectionless slave and keeps the connection-id history needed to
+//!   route responses back.
+//! * [`config::ConfigStack`] — the configuration shell (Fig. 8): based on
+//!   the address it configures the local NI directly or sends configuration
+//!   messages through the NoC to remote CNIPs.
+
+pub mod axi;
+pub mod config;
+pub mod master;
+pub mod slave;
+
+pub use axi::AxiMasterAdapter;
+pub use config::ConfigStack;
+pub use master::{AddrRange, ConnSelect, MasterStack};
+pub use slave::SlaveStack;

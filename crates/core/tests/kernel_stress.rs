@@ -1,0 +1,226 @@
+//! Kernel stress tests: the full reference NI instance with every channel
+//! active at once — GT and BE mixed, thresholds, flushes and the CNIP all
+//! exercised simultaneously.
+
+use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
+use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
+use aethereal_ni::{NiKernel, NiKernelSpec};
+use noc_sim::{Noc, Topology};
+
+/// Two reference NIs, all 8 channel pairs configured 1:1, a mix of GT
+/// (channels 1-2 on NI0, slots 0-3) and BE (the rest).
+fn full_duplex_setup() -> (Noc, NiKernel, NiKernel) {
+    let topo = Topology::mesh(2, 1, 1);
+    let noc = Noc::new(&topo);
+    let mut k0 = NiKernel::new(NiKernelSpec::reference(0));
+    let mut k1 = NiKernel::new(NiKernelSpec::reference(1));
+    let p01 = topo.route(0, 1).expect("route");
+    let p10 = topo.route(1, 0).expect("route");
+    for ch in 0..8usize {
+        let gt0 = ch == 1 || ch == 2;
+        let ctrl0 = CTRL_ENABLE | if gt0 { CTRL_GT } else { 0 };
+        k0.reg_write(chan_reg_addr(ch, ChanReg::Space), 8)
+            .expect("reg");
+        k0.reg_write(
+            chan_reg_addr(ch, ChanReg::PathRqid),
+            pack_path_rqid(&p01, ch as u8),
+        )
+        .expect("reg");
+        k0.reg_write(chan_reg_addr(ch, ChanReg::Ctrl), ctrl0)
+            .expect("reg");
+        k1.reg_write(chan_reg_addr(ch, ChanReg::Space), 8)
+            .expect("reg");
+        k1.reg_write(
+            chan_reg_addr(ch, ChanReg::PathRqid),
+            pack_path_rqid(&p10, ch as u8),
+        )
+        .expect("reg");
+        k1.reg_write(chan_reg_addr(ch, ChanReg::Ctrl), CTRL_ENABLE)
+            .expect("reg");
+    }
+    // GT slots: channel 1 owns slots 0-1, channel 2 owns slots 2-3.
+    k0.reg_write(slot_reg_addr(0), 2).expect("reg");
+    k0.reg_write(slot_reg_addr(1), 2).expect("reg");
+    k0.reg_write(slot_reg_addr(2), 3).expect("reg");
+    k0.reg_write(slot_reg_addr(3), 3).expect("reg");
+    (noc, k0, k1)
+}
+
+#[test]
+fn eight_concurrent_channels_deliver_everything_in_order() {
+    let (mut noc, mut k0, mut k1) = full_duplex_setup();
+    const PER_CHANNEL: u32 = 40;
+    let mut pushed = [0u32; 8];
+    let mut got: Vec<Vec<u32>> = vec![Vec::new(); 8];
+    for _ in 0..40_000u64 {
+        let cycle = noc.cycle();
+        for (ch, p) in pushed.iter_mut().enumerate() {
+            if *p < PER_CHANNEL && k0.src_space(ch) > 0 {
+                k0.push_src(ch, (ch as u32) << 16 | *p, cycle)
+                    .expect("space");
+                *p += 1;
+            }
+        }
+        for (ch, sink) in got.iter_mut().enumerate() {
+            if let Some(w) = k1.pop_dst(ch, cycle) {
+                sink.push(w);
+            }
+        }
+        {
+            let link = noc.ni_link_mut(0);
+            k0.tick(link, cycle);
+        }
+        {
+            let link = noc.ni_link_mut(1);
+            k1.tick(link, cycle);
+        }
+        noc.tick();
+        if got.iter().all(|g| g.len() as u32 == PER_CHANNEL) {
+            break;
+        }
+    }
+    for (ch, g) in got.iter().enumerate() {
+        assert_eq!(g.len() as u32, PER_CHANNEL, "channel {ch} complete");
+        for (i, &w) in g.iter().enumerate() {
+            assert_eq!(w, (ch as u32) << 16 | i as u32, "channel {ch} in order");
+        }
+    }
+    assert_eq!(noc.gt_conflicts(), 0);
+    assert_eq!(noc.be_overflows(), 0);
+    assert_eq!(k0.stats().rx_drops, 0);
+    assert_eq!(k1.stats().rx_drops, 0);
+    // GT channels really used the GT class.
+    assert!(k0.stats().packets_tx[0] > 0, "GT packets flowed");
+    assert!(k0.stats().packets_tx[1] > 0, "BE packets flowed");
+}
+
+#[test]
+fn flush_under_load_bounds_buffering() {
+    let (mut noc, mut k0, mut k1) = full_duplex_setup();
+    // Channel 4 has a high threshold; its lone word waits while the other
+    // channels hammer the link, until flushed.
+    k0.reg_write(chan_reg_addr(4, ChanReg::DataThreshold), 8)
+        .expect("reg");
+    k0.push_src(4, 0xF00D, 0).expect("space");
+    let mut other = 0u32;
+    for _ in 0..3_000u64 {
+        let cycle = noc.cycle();
+        for ch in [0usize, 3, 5] {
+            if k0.src_space(ch) > 0 {
+                k0.push_src(ch, other, cycle).expect("space");
+                other += 1;
+            }
+        }
+        for ch in 0..8 {
+            let _ = k1.pop_dst(ch, cycle);
+        }
+        {
+            let link = noc.ni_link_mut(0);
+            k0.tick(link, cycle);
+        }
+        {
+            let link = noc.ni_link_mut(1);
+            k1.tick(link, cycle);
+        }
+        noc.tick();
+    }
+    assert_eq!(
+        k0.channel(4).src_level(),
+        1,
+        "held below threshold under load"
+    );
+    k0.flush(4);
+    let mut flushed = false;
+    for _ in 0..2_000u64 {
+        let cycle = noc.cycle();
+        for ch in 0..8 {
+            if ch == 4 {
+                if k1.pop_dst(4, cycle) == Some(0xF00D) {
+                    flushed = true;
+                }
+            } else {
+                let _ = k1.pop_dst(ch, cycle);
+            }
+        }
+        {
+            let link = noc.ni_link_mut(0);
+            k0.tick(link, cycle);
+        }
+        {
+            let link = noc.ni_link_mut(1);
+            k1.tick(link, cycle);
+        }
+        noc.tick();
+        if flushed {
+            break;
+        }
+    }
+    assert!(
+        flushed,
+        "flush pushed the word through despite competing load"
+    );
+}
+
+#[test]
+fn closing_one_channel_does_not_disturb_the_others() {
+    let (mut noc, mut k0, mut k1) = full_duplex_setup();
+    let mut got = 0usize;
+    let mut pushed = 0u32;
+    for step in 0..8_000u64 {
+        let cycle = noc.cycle();
+        // Channel 5 streams continuously.
+        if k0.src_space(5) > 0 {
+            k0.push_src(5, pushed, cycle).expect("space");
+            pushed += 1;
+        }
+        // Channel 6 gets closed mid-run.
+        if step == 2_000 {
+            k0.reg_write(chan_reg_addr(6, ChanReg::Ctrl), 0)
+                .expect("reg");
+        }
+        if k1.pop_dst(5, cycle).is_some() {
+            got += 1;
+        }
+        {
+            let link = noc.ni_link_mut(0);
+            k0.tick(link, cycle);
+        }
+        {
+            let link = noc.ni_link_mut(1);
+            k1.tick(link, cycle);
+        }
+        noc.tick();
+    }
+    assert!(got > 1_000, "channel 5 kept streaming: {got}");
+    assert!(!k0.channel(6).is_enabled());
+    assert_eq!(noc.gt_conflicts(), 0);
+}
+
+#[test]
+fn rx_drops_counted_for_unknown_queue() {
+    // A header addressed to a queue id beyond the channel count must be
+    // counted and dropped, not crash the kernel.
+    let topo = Topology::mesh(2, 1, 1);
+    let mut noc = Noc::new(&topo);
+    let mut k1 = NiKernel::new(NiKernelSpec::reference(1));
+    let path = topo.route(0, 1).expect("route");
+    let h = noc_sim::PacketHeader {
+        path,
+        qid: 31,
+        credits: 0,
+        flush: false,
+    };
+    noc.ni_link_mut(0).send(noc_sim::LinkWord::header_only(
+        h.pack(),
+        noc_sim::WordClass::BestEffort,
+    ));
+    for _ in 0..20 {
+        let cycle = noc.cycle();
+        {
+            let link = noc.ni_link_mut(1);
+            k1.tick(link, cycle);
+        }
+        noc.tick();
+    }
+    assert_eq!(k1.stats().rx_drops, 1);
+}

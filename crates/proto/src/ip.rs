@@ -1,0 +1,47 @@
+//! The IP-module traits ticked by the system orchestrator.
+//!
+//! Each IP is ticked at its own port clock (ports "can have a different
+//! clock frequency", §4.1 of the paper); `now` is always in base network
+//! cycles.
+
+use aethereal_ni::kernel::{ChannelId, NiKernel};
+use aethereal_ni::shell::{MasterStack, SlaveStack};
+
+/// A master IP module driving a master port.
+pub trait MasterIp {
+    /// Advances the IP by one port cycle against its port stack.
+    fn tick(&mut self, port: &mut MasterStack, now: u64);
+
+    /// Concrete-type access for post-run inspection (latency stats etc.).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Whether the IP has finished its workload (used by
+    /// `NocSystem::run_until_idle`).
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// A slave IP module serving a slave port.
+pub trait SlaveIp {
+    /// Advances the IP by one port cycle against its port stack.
+    fn tick(&mut self, port: &mut SlaveStack, now: u64);
+
+    /// Concrete-type access for post-run inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// An IP streaming raw message words through kernel channels (no shell) —
+/// the point-to-point connection style of §4.2.
+pub trait RawIp {
+    /// Advances the IP by one port cycle with direct kernel channel access.
+    fn tick(&mut self, kernel: &mut NiKernel, channels: &[ChannelId], now: u64);
+
+    /// Concrete-type access for post-run inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Whether the IP has finished its workload.
+    fn done(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,35 @@
+//! # aethereal-proto — IP-module models for the Æthereal reproduction
+//!
+//! The paper's NI exists to connect *IP modules* (masters and slaves
+//! speaking AXI/OCP/DTL-style transaction protocols) to the NoC. This crate
+//! provides the models that stand in for those IP modules in simulation:
+//!
+//! * [`MemorySlave`] — a memory with configurable access latency, including
+//!   the read-linked / write-conditional reservations the paper names as
+//!   full-fledged-shell features;
+//! * [`TrafficGenerator`] — a master issuing randomized read/write
+//!   transactions with configurable mix, burst length and pacing, recording
+//!   per-transaction latency;
+//! * [`StreamSource`] / [`StreamSink`] / [`PixelStage`] — raw-port streaming
+//!   IPs for the point-to-point chains the paper motivates ("video pixel
+//!   processing", §4.2);
+//! * the [`MasterIp`] / [`SlaveIp`] / [`RawIp`] traits that the
+//!   `aethereal-cfg` system orchestrator uses to tick IPs on their port
+//!   clocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ip;
+pub mod memory;
+pub mod pixel;
+pub mod stats;
+pub mod trace;
+pub mod traffic;
+
+pub use ip::{MasterIp, RawIp, SlaveIp};
+pub use memory::MemorySlave;
+pub use pixel::{PixelStage, StreamSink, StreamSource};
+pub use stats::LatencySummary;
+pub use trace::{Trace, TraceEntry, TraceMaster};
+pub use traffic::{TrafficGenerator, TrafficGeneratorConfig, TrafficMix};

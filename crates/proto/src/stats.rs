@@ -1,0 +1,90 @@
+//! Latency bookkeeping for workload IPs.
+
+use serde::{Deserialize, Serialize};
+
+/// A summary of a set of latency samples, in network cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes samples. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u64 = sorted.iter().sum();
+        let rank = ((count as f64) * 0.95).ceil() as usize;
+        Some(LatencySummary {
+            count,
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sum as f64 / count as f64,
+            p95: sorted[rank.saturating_sub(1)],
+        })
+    }
+
+    /// Peak-to-peak spread (a jitter measure).
+    pub fn spread(&self) -> u64 {
+        self.max - self.min
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={:.1} p95={} max={} (cycles)",
+            self.count, self.min, self.mean, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(LatencySummary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_samples(&[42]).unwrap();
+        assert_eq!((s.min, s.max, s.p95, s.count), (42, 42, 42, 1));
+        assert!((s.mean - 42.0).abs() < 1e-12);
+        assert_eq!(s.spread(), 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p95, 95);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.spread(), 99);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = LatencySummary::from_samples(&[9, 1, 5]).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+    }
+}

@@ -1,0 +1,651 @@
+//! The assembled network: routers wired per a [`Topology`], plus the NI
+//! attachment handles through which the `aethereal-ni` crate injects and
+//! ejects words.
+//!
+//! [`Noc::tick`] advances one 500 MHz network cycle in two phases:
+//!
+//! 1. **emit** — every router output and every NI staging register places at
+//!    most one word on its outgoing wire, based on state from the previous
+//!    cycle;
+//! 2. **absorb** — every router input and NI inbox registers the word on its
+//!    incoming wire; BE dequeues from phase 1 return link-level credits to
+//!    the upstream producers.
+//!
+//! This two-phase discipline makes every cycle race-free regardless of
+//! iteration order, which in turn makes the GT slot alignment arithmetic
+//! (slot `s` on hop `h` ⇒ slot `s+h` on hop `h+1`) exact.
+
+use crate::link::{LinkId, LinkState};
+use crate::path::PortIdx;
+use crate::router::{Router, DEFAULT_BE_QUEUE_WORDS};
+use crate::stats::NocStats;
+use crate::topology::{Endpoint, NiId, Topology};
+use crate::word::{LinkWord, WordClass, SLOT_WORDS};
+use std::collections::VecDeque;
+
+/// Construction parameters for a [`Noc`].
+#[derive(Debug, Clone, Copy)]
+pub struct NocConfig {
+    /// BE input-queue depth per router port, in words.
+    pub be_queue_words: usize,
+    /// Capacity of the NI-side inbox (safety bound on how far an NI may lag
+    /// in draining; generous because NIs sink at line rate).
+    pub ni_inbox_words: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            be_queue_words: DEFAULT_BE_QUEUE_WORDS,
+            ni_inbox_words: 4096,
+        }
+    }
+}
+
+/// The NI side of an attachment link: one outgoing staging register (the NI
+/// controls the exact cycle each word enters the network — GT slot alignment
+/// depends on it) and an incoming inbox.
+#[derive(Debug, Clone)]
+pub struct NiLink {
+    outgoing: Option<LinkWord>,
+    incoming: VecDeque<LinkWord>,
+    credits: u32,
+    inbox_cap: usize,
+}
+
+impl NiLink {
+    fn new(initial_credits: u32, inbox_cap: usize) -> Self {
+        NiLink {
+            outgoing: None,
+            incoming: VecDeque::new(),
+            credits: initial_credits,
+            inbox_cap,
+        }
+    }
+
+    /// Stages `word` for injection this cycle.
+    ///
+    /// BE words consume one link-level credit (the router's input-queue
+    /// space); check [`NiLink::be_credits`] first. GT words need no credits —
+    /// routers never buffer them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word is already staged this cycle (the link carries one
+    /// word per cycle) or if a BE word is sent without credits.
+    pub fn send(&mut self, word: LinkWord) {
+        assert!(
+            self.outgoing.is_none(),
+            "NI link already carries a word this cycle"
+        );
+        if word.class() == WordClass::BestEffort {
+            assert!(self.credits > 0, "BE injection without link-level credit");
+            self.credits -= 1;
+        }
+        self.outgoing = Some(word);
+    }
+
+    /// Whether a word is already staged this cycle.
+    pub fn is_busy(&self) -> bool {
+        self.outgoing.is_some()
+    }
+
+    /// Link-level BE credits available toward the router input queue.
+    pub fn be_credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Takes the next received word, if any.
+    pub fn recv(&mut self) -> Option<LinkWord> {
+        self.incoming.pop_front()
+    }
+
+    /// Peeks at the next received word.
+    pub fn peek(&self) -> Option<&LinkWord> {
+        self.incoming.front()
+    }
+
+    /// Number of received words waiting.
+    pub fn pending(&self) -> usize {
+        self.incoming.len()
+    }
+}
+
+/// The assembled network-on-chip.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    routers: Vec<Router>,
+    links: Vec<LinkState>,
+    /// `out_link[router][port] = LinkId` of the directed link leaving there.
+    out_link: Vec<Vec<Option<LinkId>>>,
+    /// `in_src[router][port] = Endpoint` feeding that input.
+    in_src: Vec<Vec<Option<Endpoint>>>,
+    /// `ni_out_link[ni] = LinkId` of the NI → router link.
+    ni_out_link: Vec<LinkId>,
+    ni_links: Vec<NiLink>,
+    cycle: u64,
+    stats: NocStats,
+}
+
+impl Noc {
+    /// Builds the network for `topology` with default parameters.
+    pub fn new(topology: &Topology) -> Self {
+        Self::with_config(topology, NocConfig::default())
+    }
+
+    /// Builds the network for `topology` with explicit parameters.
+    pub fn with_config(topology: &Topology, config: NocConfig) -> Self {
+        let nr = topology.router_count();
+        let mut routers: Vec<Router> = (0..nr)
+            .map(|r| Router::new(r, topology.ports_of(r), config.be_queue_words))
+            .collect();
+        let mut links = Vec::new();
+        let mut out_link: Vec<Vec<Option<LinkId>>> =
+            (0..nr).map(|r| vec![None; topology.ports_of(r)]).collect();
+        let mut in_src: Vec<Vec<Option<Endpoint>>> =
+            (0..nr).map(|r| vec![None; topology.ports_of(r)]).collect();
+        let add = |links: &mut Vec<LinkState>, src: Endpoint, dst: Endpoint| -> LinkId {
+            let id = links.len();
+            links.push(LinkState::new(src, dst));
+            id
+        };
+        for e in topology.edges() {
+            let a = Endpoint::Router {
+                router: e.a,
+                port: e.port_a,
+            };
+            let b = Endpoint::Router {
+                router: e.b,
+                port: e.port_b,
+            };
+            let ab = add(&mut links, a, b);
+            let ba = add(&mut links, b, a);
+            out_link[e.a][e.port_a as usize] = Some(ab);
+            out_link[e.b][e.port_b as usize] = Some(ba);
+            in_src[e.b][e.port_b as usize] = Some(a);
+            in_src[e.a][e.port_a as usize] = Some(b);
+        }
+        let mut ni_out_link = Vec::new();
+        let mut ni_links = Vec::new();
+        for ni in 0..topology.ni_count() {
+            let (r, p) = topology.ni_attachment(ni).expect("ni in range");
+            let nie = Endpoint::Ni { ni };
+            let re = Endpoint::Router { router: r, port: p };
+            let to_router = add(&mut links, nie, re);
+            let from_router = add(&mut links, re, nie);
+            let _ = from_router;
+            ni_out_link.push(to_router);
+            out_link[r][p as usize] = Some(from_router);
+            in_src[r][p as usize] = Some(nie);
+            ni_links.push(NiLink::new(
+                config.be_queue_words as u32,
+                config.ni_inbox_words,
+            ));
+        }
+        // Initialize per-output BE credit budgets: the downstream input
+        // queue capacity (router inputs), or effectively unbounded for
+        // router → NI links (the NI sinks at line rate; destination-buffer
+        // space is governed by the NI's end-to-end credits).
+        for (r, ports) in out_link.iter().enumerate() {
+            for (p, l) in ports.iter().enumerate() {
+                if let Some(l) = l {
+                    let credits = match links[*l].dst {
+                        Endpoint::Router { .. } => config.be_queue_words as u32,
+                        Endpoint::Ni { .. } => u32::MAX / 2,
+                    };
+                    routers[r].set_out_credits(p as PortIdx, credits);
+                }
+            }
+        }
+        let n_links = links.len();
+        Noc {
+            routers,
+            links,
+            out_link,
+            in_src,
+            ni_out_link,
+            ni_links,
+            cycle: 0,
+            stats: NocStats::new(n_links),
+        }
+    }
+
+    /// Current cycle (500 MHz network clock).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current TDM slot index for a table of `stu_slots` slots.
+    pub fn slot(&self, stu_slots: u64) -> u64 {
+        (self.cycle / SLOT_WORDS) % stu_slots
+    }
+
+    /// Whether the current cycle is a slot boundary.
+    pub fn at_slot_boundary(&self) -> bool {
+        self.cycle.is_multiple_of(SLOT_WORDS)
+    }
+
+    /// Number of NIs attached.
+    pub fn ni_count(&self) -> usize {
+        self.ni_links.len()
+    }
+
+    /// The attachment handle of NI `ni`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ni` is out of range.
+    pub fn ni_link_mut(&mut self, ni: NiId) -> &mut NiLink {
+        &mut self.ni_links[ni]
+    }
+
+    /// Immutable access to the attachment handle of NI `ni`.
+    pub fn ni_link(&self, ni: NiId) -> &NiLink {
+        &self.ni_links[ni]
+    }
+
+    /// The routers (for inspection).
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// All link states (for inspection).
+    pub fn links(&self) -> &[LinkState] {
+        &self.links
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Total GT contention violations across all routers (invariant: zero).
+    pub fn gt_conflicts(&self) -> u64 {
+        self.routers.iter().map(Router::gt_conflicts).sum()
+    }
+
+    /// Total BE credit-discipline violations across all routers (invariant:
+    /// zero).
+    pub fn be_overflows(&self) -> u64 {
+        self.routers.iter().map(Router::be_overflows).sum()
+    }
+
+    /// Advances the network by one cycle.
+    pub fn tick(&mut self) {
+        let cycle = self.cycle;
+        // ---- Phase 1: emit ------------------------------------------------
+        // Routers.
+        let mut credit_returns: Vec<(usize, PortIdx)> = Vec::new(); // (router, input)
+        for r in 0..self.routers.len() {
+            let result = self.routers[r].emit(cycle);
+            for e in result.emissions {
+                if let Some(l) = self.out_link[r][e.port as usize] {
+                    debug_assert!(self.links[l].wire.is_none());
+                    self.links[l].wire = Some(e.word);
+                }
+            }
+            for input in result.be_dequeues {
+                credit_returns.push((r, input));
+            }
+        }
+        // NIs.
+        for (ni, handle) in self.ni_links.iter_mut().enumerate() {
+            if let Some(word) = handle.outgoing.take() {
+                let l = self.ni_out_link[ni];
+                debug_assert!(self.links[l].wire.is_none());
+                self.links[l].wire = Some(word);
+            }
+        }
+        // ---- Phase 2: absorb ----------------------------------------------
+        for l in 0..self.links.len() {
+            let Some(word) = self.links[l].wire.take() else {
+                continue;
+            };
+            self.stats.links[l].record(word.class(), word.is_header());
+            match self.links[l].dst {
+                Endpoint::Router { router, port } => {
+                    self.routers[router].absorb(port, word, cycle);
+                }
+                Endpoint::Ni { ni } => {
+                    let handle = &mut self.ni_links[ni];
+                    if handle.incoming.len() < handle.inbox_cap {
+                        handle.incoming.push_back(word);
+                        self.stats.delivered[word.class().index()] += 1;
+                    } else {
+                        // NI failed to drain: account as BE overflow; the
+                        // invariant tests require this to stay zero.
+                        self.stats.be_overflows += 1;
+                    }
+                }
+            }
+        }
+        // ---- Phase 3: return link-level credits ---------------------------
+        for (r, input) in credit_returns {
+            match self.in_src[r][input as usize] {
+                Some(Endpoint::Router { router, port }) => {
+                    self.routers[router].add_out_credit(port);
+                }
+                Some(Endpoint::Ni { ni }) => {
+                    self.ni_links[ni].credits += 1;
+                }
+                None => {}
+            }
+        }
+        self.stats.gt_conflicts = self.gt_conflicts();
+        self.stats.be_overflows += 0; // kept current via routers on query
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::PacketHeader;
+    use crate::path::Path;
+    use crate::topology::Topology;
+
+    fn be_packet(path: Path, qid: u8, payload: &[u32]) -> Vec<LinkWord> {
+        let h = PacketHeader {
+            path,
+            qid,
+            credits: 0,
+            flush: false,
+        };
+        let mut words = Vec::new();
+        if payload.is_empty() {
+            words.push(LinkWord::header_only(h.pack(), WordClass::BestEffort));
+        } else {
+            words.push(LinkWord::header(h.pack(), WordClass::BestEffort));
+            for (i, &w) in payload.iter().enumerate() {
+                words.push(LinkWord::payload(
+                    w,
+                    WordClass::BestEffort,
+                    i + 1 == payload.len(),
+                ));
+            }
+        }
+        words
+    }
+
+    fn gt_packet(path: Path, qid: u8, payload: &[u32]) -> Vec<LinkWord> {
+        let h = PacketHeader {
+            path,
+            qid,
+            credits: 0,
+            flush: false,
+        };
+        let mut words = Vec::new();
+        if payload.is_empty() {
+            words.push(LinkWord::header_only(h.pack(), WordClass::Guaranteed));
+        } else {
+            words.push(LinkWord::header(h.pack(), WordClass::Guaranteed));
+            for (i, &w) in payload.iter().enumerate() {
+                words.push(LinkWord::payload(
+                    w,
+                    WordClass::Guaranteed,
+                    i + 1 == payload.len(),
+                ));
+            }
+        }
+        words
+    }
+
+    /// Drives a word sequence into an NI link, one word per cycle.
+    fn drive(noc: &mut Noc, ni: NiId, words: &[LinkWord]) {
+        for w in words {
+            noc.ni_link_mut(ni).send(*w);
+            noc.tick();
+        }
+    }
+
+    fn drain(noc: &mut Noc, ni: NiId) -> Vec<LinkWord> {
+        let mut out = Vec::new();
+        while let Some(w) = noc.ni_link_mut(ni).recv() {
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn be_packet_delivered_across_mesh() {
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let path = topo.route(0, 3).unwrap();
+        drive(&mut noc, 0, &be_packet(path, 5, &[10, 20, 30]));
+        noc.run(20);
+        let got = drain(&mut noc, 3);
+        assert_eq!(got.len(), 4);
+        assert!(got[0].is_header());
+        assert_eq!(PacketHeader::unpack(got[0].word()).qid, 5);
+        // Path fully consumed on arrival.
+        assert!(PacketHeader::unpack(got[0].word()).path.is_empty());
+        assert_eq!(got[1].word(), 10);
+        assert_eq!(got[3].word(), 30);
+        assert!(got[3].is_tail());
+        assert_eq!(noc.gt_conflicts(), 0);
+        assert_eq!(noc.be_overflows(), 0);
+    }
+
+    #[test]
+    fn gt_packet_latency_is_one_slot_per_hop() {
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let path = topo.route(0, 3).unwrap(); // 3 hops incl. ejection
+        let words = gt_packet(path, 1, &[100, 200]);
+        // Inject exactly at a slot boundary (cycle 0).
+        assert!(noc.at_slot_boundary());
+        let start = noc.cycle();
+        drive(&mut noc, 0, &words);
+        // Header crosses 3 routers at 3 cycles each: arrives end of cycle
+        // start + 3*3 = 9 → visible after tick 9 completes.
+        let mut arrival = None;
+        for _ in 0..40 {
+            noc.tick();
+            if noc.ni_link(3).pending() > 0 && arrival.is_none() {
+                arrival = Some(noc.cycle() - 1);
+            }
+        }
+        assert_eq!(arrival, Some(start + 3 * SLOT_WORDS));
+        let got = drain(&mut noc, 3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].word(), 100);
+        assert_eq!(noc.gt_conflicts(), 0);
+    }
+
+    #[test]
+    fn two_gt_flows_on_disjoint_slots_no_conflict() {
+        // NI0 → NI3 and NI1 → NI3 share router 1→3 link (south). Offset
+        // injections by one slot so their slots never collide.
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let p03 = topo.route(0, 3).unwrap();
+        let p13 = topo.route(1, 3).unwrap();
+        // NI0's flit needs one hop to reach router 1, so on the shared
+        // router1→router3 link an NI0 flit injected in slot s lands in slot
+        // s+2 while an NI1 flit injected in slot s' lands in slot s'+1.
+        // Leaving one idle slot between the injections (s' = s+2) keeps the
+        // shared link slots disjoint.
+        for round in 0..8u64 {
+            let w0 = gt_packet(p03.clone(), 0, &[round as u32, 1]);
+            drive(&mut noc, 0, &w0);
+            noc.run(3); // skip one slot
+            let w1 = gt_packet(p13.clone(), 1, &[round as u32, 2]);
+            drive(&mut noc, 1, &w1);
+        }
+        noc.run(40);
+        assert_eq!(noc.gt_conflicts(), 0);
+        let got = drain(&mut noc, 3);
+        // 16 packets × 3 words.
+        assert_eq!(got.len(), 48);
+    }
+
+    #[test]
+    fn gt_conflict_detected_when_slots_collide() {
+        // Both NIs inject at the same slot toward the same shared link.
+        // NI0→NI3 path: E,S,eject — hits router1 south at slot s+1.
+        // NI1→NI3 path: S,eject — hits router1 south at slot s+1 too if
+        // NI1 injects at slot s. Guaranteed collision.
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let p03 = topo.route(0, 3).unwrap();
+        let p13 = topo.route(1, 3).unwrap();
+        // NI1 must inject one slot later so both headers arrive at router 1
+        // in the same cycle window... simpler: inject both at cycle 0; the
+        // NI0 header reaches router 1 at cycle 3, the NI1 header at cycle 0.
+        // Delay NI1 by one slot to collide at router 1.
+        let h0 = gt_packet(p03, 0, &[]);
+        let h1 = gt_packet(p13, 1, &[]);
+        noc.ni_link_mut(0).send(h0[0]);
+        noc.tick();
+        noc.run(2); // complete slot 0
+        noc.ni_link_mut(1).send(h1[0]);
+        noc.tick();
+        noc.run(30);
+        assert!(
+            noc.gt_conflicts() > 0,
+            "engineered slot collision must be detected"
+        );
+    }
+
+    #[test]
+    fn be_credits_replenish() {
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let init = noc.ni_link(0).be_credits();
+        let path = topo.route(0, 3).unwrap();
+        drive(&mut noc, 0, &be_packet(path, 0, &[1, 2, 3, 4]));
+        noc.run(30);
+        assert_eq!(
+            noc.ni_link(0).be_credits(),
+            init,
+            "credits return after drain"
+        );
+    }
+
+    #[test]
+    fn be_backpressure_without_loss() {
+        // Two senders saturate one destination link; all words must arrive,
+        // none dropped, credits enforce bounded queues.
+        let topo = Topology::mesh(2, 2, 1);
+        let mut noc = Noc::new(&topo);
+        let p03 = topo.route(0, 3).unwrap();
+        let p13 = topo.route(1, 3).unwrap();
+        let pkt0 = be_packet(p03, 0, &[1, 2, 3, 4, 5, 6, 7]);
+        let pkt1 = be_packet(p13, 1, &[8, 9, 10, 11, 12, 13, 14]);
+        let mut sent0 = 0usize;
+        let mut sent1 = 0usize;
+        let n_packets = 6;
+        let mut received = Vec::new();
+        for _ in 0..800 {
+            {
+                let link = noc.ni_link_mut(0);
+                if sent0 < n_packets * pkt0.len() && !link.is_busy() && link.be_credits() > 0 {
+                    link.send(pkt0[sent0 % pkt0.len()]);
+                    sent0 += 1;
+                }
+            }
+            {
+                let link = noc.ni_link_mut(1);
+                if sent1 < n_packets * pkt1.len() && !link.is_busy() && link.be_credits() > 0 {
+                    link.send(pkt1[sent1 % pkt1.len()]);
+                    sent1 += 1;
+                }
+            }
+            noc.tick();
+            received.extend(drain(&mut noc, 3));
+        }
+        assert_eq!(sent0, n_packets * pkt0.len());
+        assert_eq!(sent1, n_packets * pkt1.len());
+        assert_eq!(received.len(), sent0 + sent1, "no loss");
+        assert_eq!(noc.be_overflows(), 0);
+        // Worms arrive unfragmented per class: check header/payload framing.
+        let mut expect_header = true;
+        for w in &received {
+            if expect_header {
+                assert!(w.is_header());
+            }
+            expect_header = w.is_tail();
+        }
+        assert!(expect_header, "last word closes a packet");
+    }
+
+    #[test]
+    fn gt_and_be_interleave_on_one_link_and_demux_cleanly() {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut noc = Noc::new(&topo);
+        let path = topo.route(0, 1).unwrap();
+        // Start a long BE worm, then inject a GT flit mid-worm.
+        let be = be_packet(path.clone(), 2, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let gt = gt_packet(path, 3, &[100, 200]);
+        let mut bi = 0;
+        let mut gi = 0;
+        for c in 0..60u64 {
+            let send_gt = (6..9).contains(&c) && gi < gt.len();
+            let link = noc.ni_link_mut(0);
+            if send_gt && !link.is_busy() {
+                link.send(gt[gi]);
+                gi += 1;
+            } else if bi < be.len() && !link.is_busy() && link.be_credits() > 0 {
+                link.send(be[bi]);
+                bi += 1;
+            }
+            noc.tick();
+        }
+        let got = drain(&mut noc, 1);
+        let gt_words: Vec<_> = got
+            .iter()
+            .filter(|w| w.class() == WordClass::Guaranteed)
+            .collect();
+        let be_words: Vec<_> = got
+            .iter()
+            .filter(|w| w.class() == WordClass::BestEffort)
+            .collect();
+        assert_eq!(gt_words.len(), 3);
+        assert_eq!(be_words.len(), 9);
+        assert_eq!(gt_words[1].word(), 100);
+        assert_eq!(be_words[4].word(), 4);
+        assert_eq!(noc.gt_conflicts(), 0);
+    }
+
+    #[test]
+    fn stats_track_delivery() {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut noc = Noc::new(&topo);
+        let path = topo.route(0, 1).unwrap();
+        drive(&mut noc, 0, &be_packet(path, 0, &[1]));
+        noc.run(10);
+        assert_eq!(noc.stats().delivered[WordClass::BestEffort.index()], 2);
+        assert!(noc.stats().cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries")]
+    fn double_send_in_one_cycle_panics() {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut noc = Noc::new(&topo);
+        let w = LinkWord::header_only(0, WordClass::Guaranteed);
+        noc.ni_link_mut(0).send(w);
+        noc.ni_link_mut(0).send(w);
+    }
+
+    #[test]
+    fn ring_topology_delivers() {
+        let topo = Topology::ring(4);
+        let mut noc = Noc::new(&topo);
+        let path = topo.route(0, 2).unwrap();
+        drive(&mut noc, 0, &be_packet(path, 4, &[42]));
+        noc.run(30);
+        let got = drain(&mut noc, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(PacketHeader::unpack(got[0].word()).qid, 4);
+        assert_eq!(got[1].word(), 42);
+    }
+}

@@ -1,0 +1,293 @@
+//! Source-routing paths and their bit-level encoding in packet headers.
+//!
+//! The Æthereal header carries either an NI address (destination routing) or
+//! a *path* (source routing); the prototype — and this reproduction — uses
+//! source routing. A path is the sequence of router output ports the packet
+//! takes, *including* the final local (NI-facing) port that ejects the packet
+//! from the network.
+//!
+//! Each hop is encoded in [`HOP_BITS`] bits; every router consumes the
+//! low-order hop entry and shifts the remaining path right, so the next
+//! router always finds its own output port in the low bits (path-shifting
+//! source routing, as in the Æthereal RTL).
+
+use serde::{Deserialize, Serialize};
+
+/// A router output-port index (0..[`MAX_PORT`]).
+///
+/// For mesh topologies ports 0–3 are North/East/South/West and ports ≥ 4 are
+/// local (NI-facing) ports.
+pub type PortIdx = u8;
+
+/// Bits encoding one hop in the packet header.
+pub const HOP_BITS: u32 = 3;
+
+/// Largest encodable output-port index (`2^HOP_BITS - 2`; the all-ones
+/// pattern is reserved as the in-header terminator).
+pub const MAX_PORT: PortIdx = (1 << HOP_BITS) as PortIdx - 2;
+
+/// Reserved hop pattern marking "no more hops" inside the header field.
+const HOP_END: u32 = (1 << HOP_BITS) - 1;
+
+/// Maximum number of hops (router traversals, incl. ejection) a single
+/// 32-bit header can encode. With 21 path bits and 3 bits per hop this is 7,
+/// enough for the up-to-4×4 meshes of the Æthereal prototype era (worst case
+/// 3 + 3 link hops + 1 ejection).
+pub const MAX_HOPS: usize = 7;
+
+/// Bits of the header dedicated to the path.
+pub const PATH_BITS: u32 = HOP_BITS * MAX_HOPS as u32;
+
+/// A source route: the ordered list of output ports, one per router visited,
+/// ending with the local port that ejects into the destination NI.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::Path;
+/// // East (1), South (2), eject at local port 4.
+/// let p = Path::new(&[1, 2, 4]).unwrap();
+/// assert_eq!(p.hops(), 3);
+/// let bits = p.encode();
+/// assert_eq!(Path::decode(bits), p);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Path {
+    hops: Vec<PortIdx>,
+}
+
+/// Error constructing a [`Path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// More than [`MAX_HOPS`] hops requested.
+    TooLong {
+        /// Number of hops requested.
+        requested: usize,
+    },
+    /// A hop used a port index above [`MAX_PORT`].
+    PortOutOfRange {
+        /// The offending port index.
+        port: PortIdx,
+        /// Position of the offending hop.
+        hop: usize,
+    },
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::TooLong { requested } => {
+                write!(
+                    f,
+                    "path of {requested} hops exceeds the {MAX_HOPS}-hop header limit"
+                )
+            }
+            PathError::PortOutOfRange { port, hop } => {
+                write!(
+                    f,
+                    "port {port} at hop {hop} exceeds the encodable maximum {MAX_PORT}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl Path {
+    /// Builds a path from explicit output ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::TooLong`] for more than [`MAX_HOPS`] hops and
+    /// [`PathError::PortOutOfRange`] for ports above [`MAX_PORT`].
+    pub fn new(ports: &[PortIdx]) -> Result<Self, PathError> {
+        if ports.len() > MAX_HOPS {
+            return Err(PathError::TooLong {
+                requested: ports.len(),
+            });
+        }
+        for (hop, &port) in ports.iter().enumerate() {
+            if port > MAX_PORT {
+                return Err(PathError::PortOutOfRange { port, hop });
+            }
+        }
+        Ok(Path {
+            hops: ports.to_vec(),
+        })
+    }
+
+    /// The empty path (packet is already at its destination NI; never
+    /// transported).
+    pub fn empty() -> Self {
+        Path { hops: Vec::new() }
+    }
+
+    /// Number of hops, including the final ejection hop.
+    pub fn hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The output port taken at hop `i`.
+    pub fn hop(&self, i: usize) -> Option<PortIdx> {
+        self.hops.get(i).copied()
+    }
+
+    /// Iterates over the hops in traversal order.
+    pub fn iter(&self) -> impl Iterator<Item = PortIdx> + '_ {
+        self.hops.iter().copied()
+    }
+
+    /// Encodes the path into the low [`PATH_BITS`] bits of a word: hop 0 in
+    /// the low-order bits, unused hops filled with the terminator pattern.
+    pub fn encode(&self) -> u32 {
+        let mut bits = 0u32;
+        for slot in (0..MAX_HOPS).rev() {
+            bits <<= HOP_BITS;
+            bits |= match self.hops.get(slot) {
+                Some(&p) => u32::from(p),
+                None => HOP_END,
+            };
+        }
+        bits
+    }
+
+    /// Decodes a path from the low [`PATH_BITS`] bits of a word; stops at the
+    /// first terminator pattern.
+    pub fn decode(mut bits: u32) -> Self {
+        let mut hops = Vec::new();
+        for _ in 0..MAX_HOPS {
+            let hop = bits & HOP_END;
+            if hop == HOP_END {
+                break;
+            }
+            hops.push(hop as PortIdx);
+            bits >>= HOP_BITS;
+        }
+        Path { hops }
+    }
+
+    /// The port a router should take for the low-order hop of an encoded
+    /// path, or `None` on the terminator.
+    pub fn peek_encoded(bits: u32) -> Option<PortIdx> {
+        let hop = bits & HOP_END;
+        if hop == HOP_END {
+            None
+        } else {
+            Some(hop as PortIdx)
+        }
+    }
+
+    /// Shifts an encoded path right by one hop (what a router does when
+    /// forwarding a header), refilling the top hop slot with the terminator.
+    pub fn shift_encoded(bits: u32) -> u32 {
+        let mask = (1u32 << PATH_BITS) - 1;
+        (((bits & mask) >> HOP_BITS) | (HOP_END << (PATH_BITS - HOP_BITS))) & mask
+    }
+
+    /// Shifts the path field of a *full packed header word* by one hop,
+    /// preserving the credits/flush/qid fields above the path bits.
+    pub fn shift_header(word: u32) -> u32 {
+        let mask = (1u32 << PATH_BITS) - 1;
+        (word & !mask) | Self::shift_encoded(word & mask)
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{hop}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_path_roundtrip() {
+        let p = Path::empty();
+        assert!(p.is_empty());
+        assert_eq!(Path::decode(p.encode()), p);
+        assert_eq!(Path::peek_encoded(p.encode()), None);
+    }
+
+    #[test]
+    fn single_hop_roundtrip() {
+        for port in 0..=MAX_PORT {
+            let p = Path::new(&[port]).unwrap();
+            assert_eq!(Path::decode(p.encode()), p);
+            assert_eq!(Path::peek_encoded(p.encode()), Some(port));
+        }
+    }
+
+    #[test]
+    fn max_hops_roundtrip() {
+        let hops: Vec<PortIdx> = (0..MAX_HOPS).map(|i| (i % 6) as PortIdx).collect();
+        let p = Path::new(&hops).unwrap();
+        assert_eq!(p.hops(), MAX_HOPS);
+        assert_eq!(Path::decode(p.encode()), p);
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let hops = vec![0u8; MAX_HOPS + 1];
+        assert_eq!(
+            Path::new(&hops),
+            Err(PathError::TooLong {
+                requested: MAX_HOPS + 1
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_port_rejected() {
+        assert_eq!(
+            Path::new(&[0, 7]),
+            Err(PathError::PortOutOfRange { port: 7, hop: 1 })
+        );
+    }
+
+    #[test]
+    fn shift_consumes_one_hop() {
+        let p = Path::new(&[1, 2, 4]).unwrap();
+        let bits = p.encode();
+        assert_eq!(Path::peek_encoded(bits), Some(1));
+        let bits = Path::shift_encoded(bits);
+        assert_eq!(Path::peek_encoded(bits), Some(2));
+        let bits = Path::shift_encoded(bits);
+        assert_eq!(Path::peek_encoded(bits), Some(4));
+        let bits = Path::shift_encoded(bits);
+        assert_eq!(Path::peek_encoded(bits), None);
+    }
+
+    #[test]
+    fn shift_of_empty_stays_empty() {
+        let bits = Path::empty().encode();
+        assert_eq!(Path::shift_encoded(bits), bits);
+    }
+
+    #[test]
+    fn encode_fits_in_path_bits() {
+        let hops: Vec<PortIdx> = (0..MAX_HOPS).map(|_| MAX_PORT).collect();
+        let p = Path::new(&hops).unwrap();
+        assert!(p.encode() < (1 << PATH_BITS));
+    }
+
+    #[test]
+    fn display_formats_hops() {
+        let p = Path::new(&[1, 2, 4]).unwrap();
+        assert_eq!(p.to_string(), "[1→2→4]");
+    }
+}

@@ -1,0 +1,496 @@
+//! The combined GT/BE router (Rijpkema et al., DATE 2003), as seen from the
+//! network interface.
+//!
+//! * **GT datapath**: a GT word absorbed at cycle *t* is forwarded with a
+//!   fixed latency of one slot ([`SLOT_WORDS`] cycles) and never buffered.
+//!   Which output it takes is decided by the source route in the header
+//!   (path-shifting); continuation words follow the header's output. In the
+//!   paper's *centralized* configuration model the routers carry **no slot
+//!   tables** — contention-freedom is established by the centralized slot
+//!   allocator and merely *checked* here ([`Router::gt_conflicts`]).
+//! * **BE datapath**: input-queued wormhole switching. Each output port is
+//!   granted to one worm at a time by round-robin arbitration; forwarding
+//!   requires a link-level credit for the downstream input queue; GT words
+//!   have absolute priority for the output in any cycle.
+//!
+//! The router is driven by [`Noc`](crate::Noc) in two phases per cycle:
+//! [`Router::emit`] (produce at most one word per output, using state from
+//! the previous cycle) and [`Router::absorb`] (register arriving words).
+
+use crate::path::{Path, PortIdx};
+use crate::word::{LinkWord, WordClass, SLOT_WORDS};
+use std::collections::VecDeque;
+
+/// Default BE input-queue depth in words (the paper argues for *small*
+/// packet buffers as the TDM scheme's cost advantage; 8 words = 2–3 flits).
+pub const DEFAULT_BE_QUEUE_WORDS: usize = 8;
+
+/// A scheduled GT emission.
+#[derive(Debug, Clone, Copy)]
+struct GtEvent {
+    due: u64,
+    word: LinkWord,
+}
+
+/// One GT/BE router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: usize,
+    n_ports: usize,
+    be_capacity: usize,
+    /// Per input: BE queue.
+    be_q: Vec<VecDeque<LinkWord>>,
+    /// Per input: output claimed by the BE worm whose header has been
+    /// forwarded but whose tail has not.
+    be_route: Vec<Option<PortIdx>>,
+    /// Per input: output of the in-flight GT worm.
+    gt_route: Vec<Option<PortIdx>>,
+    /// Per output: future GT emissions, ordered by due cycle.
+    gt_cal: Vec<VecDeque<GtEvent>>,
+    /// Per output: input owning the output for a BE worm.
+    be_owner: Vec<Option<usize>>,
+    /// Per output: round-robin pointer.
+    rr: Vec<usize>,
+    /// Per output: link-level BE credits toward the downstream input queue.
+    out_credits: Vec<u32>,
+    gt_conflicts: u64,
+    be_overflows: u64,
+    gt_orphans: u64,
+}
+
+/// One word emitted by a router in a cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Emission {
+    /// Output port the word leaves through.
+    pub port: PortIdx,
+    /// The word.
+    pub word: LinkWord,
+}
+
+/// Result of [`Router::emit`]: emissions plus the inputs that dequeued a BE
+/// word this cycle (whose upstream producers earn one credit each).
+#[derive(Debug, Clone, Default)]
+pub struct EmitResult {
+    /// Words placed on output wires.
+    pub emissions: Vec<Emission>,
+    /// Input ports that freed one BE queue slot.
+    pub be_dequeues: Vec<PortIdx>,
+}
+
+impl Router {
+    /// Creates a router with `n_ports` ports and the given BE input-queue
+    /// capacity in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ports` is zero or `be_capacity` is zero.
+    pub fn new(id: usize, n_ports: usize, be_capacity: usize) -> Self {
+        assert!(n_ports > 0, "router needs at least one port");
+        assert!(be_capacity > 0, "BE queues need capacity");
+        Router {
+            id,
+            n_ports,
+            be_capacity,
+            be_q: vec![VecDeque::new(); n_ports],
+            be_route: vec![None; n_ports],
+            gt_route: vec![None; n_ports],
+            gt_cal: vec![VecDeque::new(); n_ports],
+            be_owner: vec![None; n_ports],
+            rr: vec![0; n_ports],
+            out_credits: vec![0; n_ports], // Noc sets real initial credits per link
+            gt_conflicts: 0,
+            be_overflows: 0,
+            gt_orphans: 0,
+        }
+    }
+
+    /// Router id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.n_ports
+    }
+
+    /// BE input-queue capacity in words (the credit budget granted to the
+    /// upstream sender).
+    pub fn be_capacity(&self) -> usize {
+        self.be_capacity
+    }
+
+    /// Sets the initial BE credit budget for an output (the downstream
+    /// queue's capacity). Called by [`Noc`](crate::Noc) during wiring.
+    pub(crate) fn set_out_credits(&mut self, port: PortIdx, credits: u32) {
+        self.out_credits[port as usize] = credits;
+    }
+
+    /// Returns one BE credit to an output (downstream freed a slot).
+    pub(crate) fn add_out_credit(&mut self, port: PortIdx) {
+        self.out_credits[port as usize] += 1;
+    }
+
+    /// Current BE credits available toward the downstream of `port`.
+    pub fn out_credits(&self, port: PortIdx) -> u32 {
+        self.out_credits[port as usize]
+    }
+
+    /// BE words currently queued at input `port`.
+    pub fn be_queued(&self, port: PortIdx) -> usize {
+        self.be_q[port as usize].len()
+    }
+
+    /// GT contention events seen so far (must stay zero under a correct
+    /// slot allocation).
+    pub fn gt_conflicts(&self) -> u64 {
+        self.gt_conflicts
+    }
+
+    /// BE words that arrived at a full queue (credit discipline violations;
+    /// must stay zero).
+    pub fn be_overflows(&self) -> u64 {
+        self.be_overflows
+    }
+
+    /// GT payload words that arrived with no preceding header (protocol
+    /// violations; must stay zero).
+    pub fn gt_orphans(&self) -> u64 {
+        self.gt_orphans
+    }
+
+    /// Phase 1: produce at most one word per output for `cycle`.
+    ///
+    /// GT emissions due this cycle take absolute priority; otherwise a BE
+    /// worm holding the output continues, and otherwise round-robin
+    /// arbitration picks a new BE worm whose header routes to the output.
+    pub fn emit(&mut self, cycle: u64) -> EmitResult {
+        let mut result = EmitResult::default();
+        for out in 0..self.n_ports {
+            // 1. GT words due now win the output unconditionally.
+            if let Some(ev) = self.gt_cal[out].front() {
+                debug_assert!(ev.due >= cycle, "GT calendar fell behind");
+                if ev.due == cycle {
+                    let ev = self.gt_cal[out].pop_front().expect("front checked");
+                    // A second event due the same cycle is a contention
+                    // violation: record and drop it.
+                    while self.gt_cal[out].front().is_some_and(|e| e.due == cycle) {
+                        self.gt_cal[out].pop_front();
+                        self.gt_conflicts += 1;
+                    }
+                    result.emissions.push(Emission {
+                        port: out as PortIdx,
+                        word: ev.word,
+                    });
+                    continue;
+                }
+            }
+            // 2. A BE worm already owning this output continues.
+            if let Some(input) = self.be_owner[out] {
+                if self.out_credits[out] == 0 {
+                    continue;
+                }
+                if let Some(&head) = self.be_q[input].front() {
+                    debug_assert!(
+                        !head.is_header(),
+                        "new header at head while worm in flight on router {} input {}",
+                        self.id,
+                        input
+                    );
+                    self.be_q[input].pop_front();
+                    self.out_credits[out] -= 1;
+                    if head.is_tail() {
+                        self.be_owner[out] = None;
+                        self.be_route[input] = None;
+                    }
+                    result.be_dequeues.push(input as PortIdx);
+                    result.emissions.push(Emission {
+                        port: out as PortIdx,
+                        word: head,
+                    });
+                }
+                continue;
+            }
+            // 3. Round-robin among inputs whose head is a header routed here.
+            if self.out_credits[out] == 0 {
+                continue;
+            }
+            let start = self.rr[out];
+            for k in 0..self.n_ports {
+                let input = (start + k) % self.n_ports;
+                // An input whose worm is mid-flight elsewhere cannot start a
+                // new worm; its head is a continuation word anyway.
+                if self.be_route[input].is_some() {
+                    continue;
+                }
+                let Some(&head) = self.be_q[input].front() else {
+                    continue;
+                };
+                if !head.is_header() {
+                    // Orphan continuation (worm state lost) — cannot happen
+                    // with well-formed traffic; skip defensively.
+                    continue;
+                }
+                let Some(next) = Path::peek_encoded(head.word()) else {
+                    continue;
+                };
+                if usize::from(next) != out {
+                    continue;
+                }
+                self.be_q[input].pop_front();
+                self.out_credits[out] -= 1;
+                let shifted = head.with_word(Path::shift_header(head.word()));
+                if !head.is_tail() {
+                    self.be_owner[out] = Some(input);
+                    self.be_route[input] = Some(out as PortIdx);
+                }
+                self.rr[out] = (input + 1) % self.n_ports;
+                result.be_dequeues.push(input as PortIdx);
+                result.emissions.push(Emission {
+                    port: out as PortIdx,
+                    word: shifted,
+                });
+                break;
+            }
+        }
+        result
+    }
+
+    /// Phase 2: register the word arriving on input `port` at `cycle`.
+    pub fn absorb(&mut self, port: PortIdx, word: LinkWord, cycle: u64) {
+        let input = port as usize;
+        match word.class() {
+            WordClass::Guaranteed => {
+                let (out, fwd) = if word.is_header() {
+                    let Some(out) = Path::peek_encoded(word.word()) else {
+                        // Path exhausted at a router: misrouted packet.
+                        self.gt_orphans += 1;
+                        return;
+                    };
+                    let shifted = word.with_word(Path::shift_header(word.word()));
+                    if !word.is_tail() {
+                        self.gt_route[input] = Some(out);
+                    }
+                    (out, shifted)
+                } else {
+                    let Some(out) = self.gt_route[input] else {
+                        self.gt_orphans += 1;
+                        return;
+                    };
+                    if word.is_tail() {
+                        self.gt_route[input] = None;
+                    }
+                    (out, word)
+                };
+                let due = cycle + SLOT_WORDS;
+                let cal = &mut self.gt_cal[out as usize];
+                debug_assert!(cal.back().is_none_or(|e| e.due <= due));
+                cal.push_back(GtEvent { due, word: fwd });
+            }
+            WordClass::BestEffort => {
+                if self.be_q[input].len() >= self.be_capacity {
+                    self.be_overflows += 1;
+                    return;
+                }
+                self.be_q[input].push_back(word);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::PacketHeader;
+
+    fn header_word(path: &[PortIdx], qid: u8) -> u32 {
+        PacketHeader {
+            path: Path::new(path).unwrap(),
+            qid,
+            credits: 0,
+            flush: false,
+        }
+        .pack()
+    }
+
+    fn be_header(path: &[PortIdx], tail: bool) -> LinkWord {
+        if tail {
+            LinkWord::header_only(header_word(path, 0), WordClass::BestEffort)
+        } else {
+            LinkWord::header(header_word(path, 0), WordClass::BestEffort)
+        }
+    }
+
+    fn gt_header(path: &[PortIdx], tail: bool) -> LinkWord {
+        if tail {
+            LinkWord::header_only(header_word(path, 0), WordClass::Guaranteed)
+        } else {
+            LinkWord::header(header_word(path, 0), WordClass::Guaranteed)
+        }
+    }
+
+    fn fresh(n_ports: usize) -> Router {
+        let mut r = Router::new(0, n_ports, DEFAULT_BE_QUEUE_WORDS);
+        for p in 0..n_ports {
+            r.set_out_credits(p as PortIdx, DEFAULT_BE_QUEUE_WORDS as u32);
+        }
+        r
+    }
+
+    #[test]
+    fn gt_word_forwarded_after_one_slot() {
+        let mut r = fresh(5);
+        r.absorb(0, gt_header(&[2, 4], true), 9);
+        for c in 10..12 {
+            assert!(r.emit(c).emissions.is_empty(), "early at {c}");
+        }
+        let out = r.emit(12).emissions;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 2);
+        // Path was shifted: next hop is now 4.
+        assert_eq!(Path::peek_encoded(out[0].word.word()), Some(4));
+    }
+
+    #[test]
+    fn gt_worm_follows_header() {
+        let mut r = fresh(5);
+        r.absorb(1, gt_header(&[3, 4], false), 0);
+        r.absorb(1, LinkWord::payload(7, WordClass::Guaranteed, false), 1);
+        r.absorb(1, LinkWord::payload(8, WordClass::Guaranteed, true), 2);
+        let e3 = r.emit(3).emissions;
+        let e4 = r.emit(4).emissions;
+        let e5 = r.emit(5).emissions;
+        assert_eq!(e3[0].port, 3);
+        assert_eq!(e4[0].word.word(), 7);
+        assert_eq!(e5[0].word.word(), 8);
+        assert!(e5[0].word.is_tail());
+        assert_eq!(r.gt_conflicts(), 0);
+    }
+
+    #[test]
+    fn gt_contention_detected_and_counted() {
+        let mut r = fresh(5);
+        // Two GT headers from different inputs, same cycle, same output 4.
+        r.absorb(0, gt_header(&[4], true), 0);
+        r.absorb(1, gt_header(&[4], true), 0);
+        let out = r.emit(3).emissions;
+        assert_eq!(out.len(), 1, "only one word can leave");
+        assert_eq!(r.gt_conflicts(), 1);
+    }
+
+    #[test]
+    fn gt_orphan_payload_counted() {
+        let mut r = fresh(5);
+        r.absorb(0, LinkWord::payload(1, WordClass::Guaranteed, true), 0);
+        assert_eq!(r.gt_orphans(), 1);
+        assert!(r.emit(3).emissions.is_empty());
+    }
+
+    #[test]
+    fn be_single_word_packet_forwarded() {
+        let mut r = fresh(5);
+        r.absorb(0, be_header(&[2, 4], true), 0);
+        let out = r.emit(1).emissions;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 2);
+        assert!(out[0].word.is_tail());
+        assert_eq!(Path::peek_encoded(out[0].word.word()), Some(4));
+    }
+
+    #[test]
+    fn be_worm_holds_output_until_tail() {
+        let mut r = fresh(5);
+        r.absorb(0, be_header(&[2, 4], false), 0);
+        r.absorb(0, LinkWord::payload(11, WordClass::BestEffort, false), 1);
+        r.absorb(0, LinkWord::payload(12, WordClass::BestEffort, true), 2);
+        // A competing worm from input 1 to the same output waits.
+        r.absorb(1, be_header(&[2, 4], true), 0);
+        let w1 = r.emit(1).emissions;
+        assert_eq!(w1.len(), 1);
+        assert!(w1[0].word.is_header());
+        let w2 = r.emit(2).emissions;
+        assert_eq!(w2[0].word.word(), 11);
+        let w3 = r.emit(3).emissions;
+        assert_eq!(w3[0].word.word(), 12);
+        assert!(w3[0].word.is_tail());
+        // Now the competitor gets through.
+        let w4 = r.emit(4).emissions;
+        assert_eq!(w4.len(), 1);
+        assert!(w4[0].word.is_header());
+    }
+
+    #[test]
+    fn be_round_robin_alternates() {
+        let mut r = fresh(5);
+        // Single-word packets from inputs 0 and 1, all to output 3.
+        for c in 0..4 {
+            r.absorb(0, be_header(&[3, 4], true), c);
+            r.absorb(1, be_header(&[3, 4], true), c);
+        }
+        let mut winners = Vec::new();
+        for c in 5..13 {
+            if let Some(&input) = r.emit(c).be_dequeues.first() {
+                winners.push(input);
+            }
+        }
+        assert_eq!(winners.len(), 8);
+        // Strict alternation thanks to round-robin arbitration.
+        for pair in winners.windows(2) {
+            assert_ne!(pair[0], pair[1], "round robin must alternate: {winners:?}");
+        }
+    }
+
+    #[test]
+    fn be_blocked_without_credits() {
+        let mut r = fresh(5);
+        r.set_out_credits(2, 0);
+        r.absorb(0, be_header(&[2, 4], true), 0);
+        assert!(r.emit(1).emissions.is_empty());
+        r.add_out_credit(2);
+        assert_eq!(r.emit(2).emissions.len(), 1);
+    }
+
+    #[test]
+    fn be_overflow_counted_not_crashed() {
+        let mut r = Router::new(0, 5, 2);
+        r.absorb(0, LinkWord::payload(0, WordClass::BestEffort, false), 0);
+        r.absorb(0, LinkWord::payload(1, WordClass::BestEffort, false), 0);
+        r.absorb(0, LinkWord::payload(2, WordClass::BestEffort, false), 0);
+        assert_eq!(r.be_overflows(), 1);
+        assert_eq!(r.be_queued(0), 2);
+    }
+
+    #[test]
+    fn gt_beats_be_for_the_output() {
+        let mut r = fresh(5);
+        // BE worm ready at cycle 1; GT word due exactly at cycle 3.
+        r.absorb(0, be_header(&[2, 4], false), 0);
+        r.absorb(0, LinkWord::payload(1, WordClass::BestEffort, false), 1);
+        r.absorb(0, LinkWord::payload(2, WordClass::BestEffort, true), 2);
+        r.absorb(1, gt_header(&[2, 4], true), 0);
+        let e1 = r.emit(1).emissions; // BE header goes (GT not due yet)
+        assert_eq!(e1[0].word.class(), WordClass::BestEffort);
+        let e2 = r.emit(2).emissions; // BE payload
+        assert_eq!(e2[0].word.class(), WordClass::BestEffort);
+        let e3 = r.emit(3).emissions; // GT due: wins over BE tail
+        assert_eq!(e3.len(), 1);
+        assert_eq!(e3[0].word.class(), WordClass::Guaranteed);
+        let e4 = r.emit(4).emissions; // BE resumes
+        assert_eq!(e4[0].word.class(), WordClass::BestEffort);
+        assert!(e4[0].word.is_tail());
+    }
+
+    #[test]
+    fn emit_reports_dequeues_for_credit_return() {
+        let mut r = fresh(5);
+        r.absorb(3, be_header(&[1, 4], true), 0);
+        let res = r.emit(1);
+        assert_eq!(res.be_dequeues, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        let _ = Router::new(0, 0, 8);
+    }
+}

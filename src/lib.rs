@@ -1,0 +1,67 @@
+//! # aethereal — a Rust reproduction of the Æthereal network interface
+//!
+//! This is the facade crate of the reproduction of *"An Efficient On-Chip
+//! Network Interface Offering Guaranteed Services, Shared-Memory
+//! Abstraction, and Flexible Network Configuration"* (Rădulescu, Dielissen,
+//! Goossens, Rijpkema, Wielage — DATE 2004).
+//!
+//! It re-exports the workspace crates:
+//!
+//! * [`sim`] (`noc-sim`) — the cycle-level GT/BE router network substrate;
+//! * [`ni`] (`aethereal-ni`) — the paper's contribution: the NI kernel and
+//!   shells;
+//! * [`proto`] (`aethereal-proto`) — IP-module models (traffic generators,
+//!   memory slaves, streaming stages);
+//! * [`cfg`](mod@cfg) (`aethereal-cfg`) — design-time instantiation (`NocSpec`) and
+//!   run-time configuration through the NoC itself (`RuntimeConfigurator`);
+//! * [`area`] (`aethereal-area`) — the analytical area/frequency model
+//!   calibrated to the paper's §5 synthesis results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aethereal::cfg::{presets, NocSpec, NocSystem, RuntimeConfigurator, TopologySpec};
+//! use aethereal::cfg::runtime::{ChannelEnd, ConnectionRequest};
+//! use aethereal::ni::Transaction;
+//!
+//! // Design time: a 2x1 mesh with a config module, one master, one slave.
+//! // (The topology has 2 routers; put cfg+master on NI 0's router via two
+//! // NIs per router.)
+//! let spec = NocSpec::new(
+//!     TopologySpec::Mesh { width: 2, height: 1, nis_per_router: 2 },
+//!     vec![
+//!         presets::cfg_module_ni(0, 4),
+//!         presets::master_ni(1),
+//!         presets::slave_ni(2),
+//!         presets::slave_ni(3),
+//!     ],
+//! );
+//! let mut sys = NocSystem::from_spec(&spec);
+//!
+//! // Run time: open a best-effort connection master(NI1) → slave(NI2)
+//! // through the NoC itself (Fig. 9).
+//! let topo = spec.topology.build();
+//! let mut cfg = RuntimeConfigurator::new(topo, 0, 0, 8);
+//! let conn = ConnectionRequest::best_effort(
+//!     ChannelEnd { ni: 1, channel: 1 },
+//!     ChannelEnd { ni: 2, channel: 1 },
+//! );
+//! let _handle = cfg.open_connection(&mut sys, &conn).expect("connection opens");
+//! assert_eq!(cfg.stats().connections_opened, 1);
+//!
+//! // Use the connection: a write through the shared-memory abstraction.
+//! sys.nis[1].master_mut(1).submit(Transaction::write(0x40, vec![7], 1));
+//! sys.run(300);
+//! assert!(sys.nis[2].slave_mut(1).take_request().is_some());
+//! ```
+//!
+//! (See `examples/quickstart.rs` for the complete runnable version.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aethereal_area as area;
+pub use aethereal_cfg as cfg;
+pub use aethereal_ni as ni;
+pub use aethereal_proto as proto;
+pub use noc_sim as sim;

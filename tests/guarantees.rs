@@ -1,0 +1,294 @@
+//! Integration tests of the §2 service guarantees: throughput lower
+//! bounds, latency upper bounds and jitter bounds of GT connections, and
+//! their independence from best-effort interference — the paper's central
+//! compositionality claim, checked against the analytic formulas.
+
+use aethereal::cfg::runtime::{ChannelEnd, ConnectionRequest, Service};
+use aethereal::cfg::{
+    presets, NocSpec, NocSystem, RuntimeConfigurator, SlotStrategy, TopologySpec,
+};
+use aethereal::proto::{
+    MasterIp, MemorySlave, StreamSink, StreamSource, TrafficGenerator, TrafficGeneratorConfig,
+    TrafficMix,
+};
+use aethereal::sim::SLOT_WORDS;
+
+const STU: usize = 8;
+
+/// GT stream + optional BE interference on a shared link.
+fn gt_with_interference(slots: usize, interference: bool) -> (f64, u64, NocSystem) {
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 2,
+            height: 1,
+            nis_per_router: 3,
+        },
+        vec![
+            presets::cfg_module_ni(0, 8),
+            presets::raw_ni(1, 1),
+            presets::master_ni(2),
+            presets::raw_ni(3, 1),
+            presets::slave_ni(4),
+            presets::slave_ni(5),
+        ],
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, STU);
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest {
+            fwd: Service::Guaranteed {
+                slots,
+                strategy: SlotStrategy::Spread,
+            },
+            rev: Service::BestEffort,
+            ..ConnectionRequest::best_effort(
+                ChannelEnd { ni: 1, channel: 1 },
+                ChannelEnd { ni: 3, channel: 1 },
+            )
+        },
+    )
+    .expect("GT opens");
+    if interference {
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest::best_effort(
+                ChannelEnd { ni: 2, channel: 1 },
+                ChannelEnd { ni: 4, channel: 1 },
+            ),
+        )
+        .expect("BE opens");
+        sys.bind_slave(4, 1, Box::new(MemorySlave::new(1)));
+        sys.bind_master(
+            2,
+            1,
+            Box::new(TrafficGenerator::new(TrafficGeneratorConfig {
+                seed: 3,
+                mix: TrafficMix::WriteOnly,
+                burst: (6, 8),
+                ..Default::default()
+            })),
+        );
+    }
+    sys.bind_raw(1, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+    let sink = sys.bind_raw(3, 1, vec![1], Box::new(StreamSink::new()));
+    sys.run(2_000);
+    let before = sys.raw_ip_as::<StreamSink>(sink).received().len();
+    sys.run(24_000);
+    let s = sys.raw_ip_as::<StreamSink>(sink);
+    let rate = (s.received().len() - before) as f64 / 24_000.0;
+    let jitter = s.max_inter_arrival().unwrap_or(0);
+    assert_eq!(sys.noc.gt_conflicts(), 0);
+    (rate, jitter, sys)
+}
+
+#[test]
+fn gt_throughput_meets_lower_bound_for_every_reservation() {
+    for slots in 1..=4usize {
+        let (rate, _, _) = gt_with_interference(slots, false);
+        // §2: N slots ⇒ N·B_slot guaranteed. Each spread slot carries one
+        // flit = 1 header + 2 payload words per table period of 24 cycles,
+        // so the payload lower bound is 2N/24 words/cycle.
+        let bound = 2.0 * slots as f64 / (STU as f64 * SLOT_WORDS as f64);
+        assert!(
+            rate >= bound * 0.999,
+            "{slots} slots: measured {rate:.4} < payload bound {bound:.4}"
+        );
+    }
+}
+
+#[test]
+fn gt_rate_and_jitter_unchanged_by_interference() {
+    let (clean_rate, clean_jitter, _) = gt_with_interference(2, false);
+    let (loaded_rate, loaded_jitter, _) = gt_with_interference(2, true);
+    assert!(
+        (clean_rate - loaded_rate).abs() < 1e-9,
+        "GT throughput must be load-independent: {clean_rate} vs {loaded_rate}"
+    );
+    assert_eq!(
+        clean_jitter, loaded_jitter,
+        "GT jitter must be load-independent"
+    );
+}
+
+#[test]
+fn gt_jitter_bounded_by_max_slot_gap() {
+    for slots in 1..=4usize {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 2,
+            },
+            vec![
+                presets::cfg_module_ni(0, 4),
+                presets::raw_ni(1, 1),
+                presets::raw_ni(2, 1),
+                presets::slave_ni(3),
+            ],
+        );
+        let mut sys = NocSystem::from_spec(&spec);
+        let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, STU);
+        let handle = cfg
+            .open_connection(
+                &mut sys,
+                &ConnectionRequest {
+                    fwd: Service::Guaranteed {
+                        slots,
+                        strategy: SlotStrategy::Spread,
+                    },
+                    rev: Service::BestEffort,
+                    ..ConnectionRequest::best_effort(
+                        ChannelEnd { ni: 1, channel: 1 },
+                        ChannelEnd { ni: 2, channel: 1 },
+                    )
+                },
+            )
+            .expect("opens");
+        let gap = handle.fwd_slots().expect("GT").max_gap(STU);
+        sys.bind_raw(1, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+        let sink = sys.bind_raw(2, 1, vec![1], Box::new(StreamSink::new()));
+        sys.run(30_000);
+        let measured = sys
+            .raw_ip_as::<StreamSink>(sink)
+            .max_inter_arrival()
+            .unwrap_or(0);
+        // §2: jitter ≤ max distance between slot reservations (in cycles).
+        let bound = gap as u64 * SLOT_WORDS;
+        assert!(
+            measured <= bound,
+            "{slots} slots: jitter {measured} > bound {bound} (gap {gap} slots)"
+        );
+    }
+}
+
+#[test]
+fn be_makes_progress_even_under_gt_pressure() {
+    // A GT connection holding 6 of 8 slots leaves the BE class only the
+    // residual bandwidth — but never starves it (BE uses unreserved and
+    // unused slots).
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 2,
+            height: 1,
+            nis_per_router: 3,
+        },
+        vec![
+            presets::cfg_module_ni(0, 8),
+            presets::raw_ni(1, 1),
+            presets::master_ni(2),
+            presets::raw_ni(3, 1),
+            presets::slave_ni(4),
+            presets::slave_ni(5),
+        ],
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, STU);
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest {
+            fwd: Service::Guaranteed {
+                slots: 6,
+                strategy: SlotStrategy::Spread,
+            },
+            rev: Service::BestEffort,
+            ..ConnectionRequest::best_effort(
+                ChannelEnd { ni: 1, channel: 1 },
+                ChannelEnd { ni: 3, channel: 1 },
+            )
+        },
+    )
+    .expect("GT opens");
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest::best_effort(
+            ChannelEnd { ni: 2, channel: 1 },
+            ChannelEnd { ni: 4, channel: 1 },
+        ),
+    )
+    .expect("BE opens");
+    sys.bind_raw(1, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+    sys.bind_slave(4, 1, Box::new(MemorySlave::new(1)));
+    let be = sys.bind_master(
+        1 + 1,
+        1,
+        Box::new(TrafficGenerator::new(TrafficGeneratorConfig {
+            seed: 11,
+            mix: TrafficMix::AckedWriteOnly,
+            burst: (2, 4),
+            total: Some(40),
+            ..Default::default()
+        })),
+    );
+    assert!(
+        sys.run_until(|s| s.master_ip_as::<TrafficGenerator>(be).done(), 600_000,),
+        "BE must complete despite heavy GT reservations"
+    );
+    let g = sys.master_ip_as::<TrafficGenerator>(be);
+    assert_eq!(g.completed(), 40);
+    assert_eq!(g.errors(), 0);
+}
+
+#[test]
+fn unused_gt_slots_are_recovered_by_be() {
+    // A GT connection that sends nothing: its reserved slots pass unused
+    // and BE traffic claims every cycle — the combined router's efficiency
+    // argument.
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 2,
+            height: 1,
+            nis_per_router: 3,
+        },
+        vec![
+            presets::cfg_module_ni(0, 8),
+            presets::raw_ni(1, 1), // silent GT source
+            presets::master_ni(2),
+            presets::raw_ni(3, 1),
+            presets::slave_ni(4),
+            presets::slave_ni(5),
+        ],
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, STU);
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest {
+            fwd: Service::Guaranteed {
+                slots: 7,
+                strategy: SlotStrategy::Spread,
+            },
+            rev: Service::BestEffort,
+            ..ConnectionRequest::best_effort(
+                ChannelEnd { ni: 1, channel: 1 },
+                ChannelEnd { ni: 3, channel: 1 },
+            )
+        },
+    )
+    .expect("GT opens");
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest::best_effort(
+            ChannelEnd { ni: 2, channel: 1 },
+            ChannelEnd { ni: 4, channel: 1 },
+        ),
+    )
+    .expect("BE opens");
+    sys.bind_slave(4, 1, Box::new(MemorySlave::new(1)));
+    let be = sys.bind_master(
+        2,
+        1,
+        Box::new(TrafficGenerator::new(TrafficGeneratorConfig {
+            seed: 2,
+            mix: TrafficMix::WriteOnly,
+            burst: (8, 8),
+            total: Some(100),
+            ..Default::default()
+        })),
+    );
+    assert!(sys.run_until(|s| s.master_ip_as::<TrafficGenerator>(be).done(), 300_000,));
+    let g = sys.master_ip_as::<TrafficGenerator>(be);
+    assert_eq!(g.issued(), 100);
+    // GT channel stats show slots passing unused.
+    assert!(sys.nis[1].kernel.stats().gt_slots_unused > 0);
+}
