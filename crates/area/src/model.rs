@@ -18,8 +18,6 @@
 //! `77 005 + 20 000 + 4 000 + 4 000 + 4 995 = 110 000` (the anchor is kept
 //! exact by assigning the residual to the shared logic).
 
-use serde::{Deserialize, Serialize};
-
 /// µm² per FIFO bit (custom hardware FIFO, 0.13 µm).
 pub const FIFO_AREA_PER_BIT: f64 = 18.8;
 /// µm² per channel of control state.
@@ -58,7 +56,7 @@ pub const ROUTER_CLOCK_MHZ: f64 = 500.0;
 pub const LINK_BANDWIDTH_GBIT: f64 = WORD_BITS as f64 * ROUTER_CLOCK_MHZ / 1_000.0;
 
 /// A shell instance attached to an NI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShellKind {
     /// Narrowcast connection shell (Fig. 3).
     Narrowcast,
@@ -97,7 +95,7 @@ impl ShellKind {
 }
 
 /// Parameters of an NI instance for area estimation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NiInstance {
     /// Number of ports.
     pub ports: usize,
@@ -139,7 +137,7 @@ impl NiInstance {
 }
 
 /// Itemized area estimate, µm².
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaBreakdown {
     /// FIFO storage.
     pub fifos: f64,
@@ -178,7 +176,7 @@ impl AreaBreakdown {
 }
 
 /// The calibrated area/frequency model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AreaModel;
 
 impl AreaModel {

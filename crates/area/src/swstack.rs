@@ -11,15 +11,13 @@
 //! per-packet component calibrated so that the reference packet of the
 //! cited work costs exactly 47 instructions.
 
-use serde::{Deserialize, Serialize};
-
 /// Lower bound of the hardware NI latency overhead, cycles (§5).
 pub const HW_NI_LATENCY_MIN: u64 = 4;
 /// Upper bound of the hardware NI latency overhead, cycles (§5).
 pub const HW_NI_LATENCY_MAX: u64 = 10;
 
 /// Instruction budget model of software packetization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwStackModel {
     /// Instructions per packet independent of length (header assembly,
     /// routing lookup, queue pointers).

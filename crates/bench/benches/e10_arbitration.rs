@@ -80,18 +80,17 @@ fn run(policy: ArbPolicy) -> ([u64; 3], f64) {
 /// A sink that just pops (keeps credits flowing) without storing.
 struct DrainSink;
 
+impl<'a> aethereal_proto::ip::ClockedWith<aethereal_proto::ip::RawPort<'a>> for DrainSink {
+    fn absorb(&mut self, port: &mut aethereal_proto::ip::RawPort<'a>, now: u64) {
+        let _ = port.kernel.pop_dst(port.channels[0], now);
+    }
+
+    fn emit(&mut self, _port: &mut aethereal_proto::ip::RawPort<'a>, _now: u64) {}
+}
+
 impl aethereal_proto::RawIp for DrainSink {
     fn as_any(&self) -> &dyn std::any::Any {
         self
-    }
-
-    fn tick(
-        &mut self,
-        kernel: &mut aethereal_ni::NiKernel,
-        channels: &[aethereal_ni::ChannelId],
-        now: u64,
-    ) {
-        let _ = kernel.pop_dst(channels[0], now);
     }
 }
 

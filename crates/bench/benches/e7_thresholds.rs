@@ -12,7 +12,7 @@
 
 use aethereal_bench::table::f3;
 use aethereal_bench::{stream_system, StreamSetup, Table};
-use aethereal_ni::kernel::{ChannelId, NiKernel};
+use aethereal_proto::ip::{ClockedWith, RawPort};
 use aethereal_proto::RawIp;
 
 /// A source producing one word every `period` port cycles.
@@ -21,18 +21,22 @@ struct PacedSource {
     produced: u64,
 }
 
-impl RawIp for PacedSource {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
+impl<'a> ClockedWith<RawPort<'a>> for PacedSource {
+    fn absorb(&mut self, _port: &mut RawPort<'a>, _now: u64) {}
 
-    fn tick(&mut self, kernel: &mut NiKernel, channels: &[ChannelId], now: u64) {
-        if now.is_multiple_of(self.period) && kernel.src_space(channels[0]) > 0 {
-            kernel
-                .push_src(channels[0], self.produced as u32, now)
+    fn emit(&mut self, port: &mut RawPort<'a>, now: u64) {
+        if now.is_multiple_of(self.period) && port.kernel.src_space(port.channels[0]) > 0 {
+            port.kernel
+                .push_src(port.channels[0], self.produced as u32, now)
                 .expect("space checked");
             self.produced += 1;
         }
+    }
+}
+
+impl RawIp for PacedSource {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -3,11 +3,12 @@
 //! and whole-system ticks. These quantify the *simulator's* performance
 //! (not the paper's hardware) and guard against regressions.
 
+use aethereal_bench::harness::{black_box, Criterion};
+use aethereal_bench::{criterion_group, criterion_main};
 use aethereal_bench::{master_slave_system, stream_system, StreamSetup};
 use aethereal_cfg::{SlotAllocator, SlotStrategy};
 use aethereal_ni::fifo::HwFifo;
 use aethereal_proto::StreamSource;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use noc_sim::{LinkWord, Noc, PacketHeader, Path, Topology, WordClass};
 
 fn bench_fifo(c: &mut Criterion) {
@@ -60,6 +61,9 @@ fn bench_router_datapath(c: &mut Criterion) {
         let mut noc = Noc::new(&topo);
         b.iter(|| noc.tick());
     });
+    // The steady-state loaded tick: ring-buffer transport end to end, zero
+    // allocations and zero `LinkWord` clones (words are `Copy` and move by
+    // value through fixed rings — pinned by the facade `zero_alloc` test).
     c.bench_function("noc_tick_loaded_2x2", |b| {
         let topo = Topology::mesh(2, 2, 1);
         let mut noc = Noc::new(&topo);
@@ -78,6 +82,17 @@ fn bench_router_datapath(c: &mut Criterion) {
             noc.tick();
             while noc.ni_link_mut(3).recv().is_some() {}
         });
+    });
+}
+
+fn bench_engine_fast_path(c: &mut Criterion) {
+    // One `run(1000)` over an idle network: the engine detects quiescence
+    // and batches all 1000 cycles into one slot-aware skip. Compare against
+    // 1000 x `noc_tick_idle_4x4` to see the batching win.
+    c.bench_function("engine_run_quiescent_1k_4x4", |b| {
+        let topo = Topology::mesh(4, 4, 1);
+        let mut noc = Noc::new(&topo);
+        b.iter(|| noc.run(1_000));
     });
 }
 
@@ -118,6 +133,7 @@ criterion_group!(
     bench_header,
     bench_routing,
     bench_router_datapath,
+    bench_engine_fast_path,
     bench_slot_allocator,
     bench_full_system
 );

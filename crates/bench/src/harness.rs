@@ -1,0 +1,191 @@
+//! A minimal criterion-compatible micro-benchmark harness.
+//!
+//! The build container has no crates registry, so the `micro` bench target
+//! runs on this in-tree harness instead of `criterion`. It keeps the same
+//! calling convention — [`Criterion::bench_function`] with a closure over a
+//! [`Bencher`], plus the [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — and measures by
+//! doubling the iteration count until a sample window exceeds a minimum
+//! duration, then reporting the median, mean and min of the per-iteration
+//! times over several samples.
+//!
+//! Results print as a table and are also appended to the path given in
+//! `BENCH_JSON` (one JSON object per benchmark, one file for the run) so CI
+//! and `BENCH_baseline.json` can track them.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 15;
+
+/// Minimum duration a sample window must reach while calibrating.
+const MIN_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Per-iteration timing statistics of one benchmark, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median of the per-sample mean iteration times.
+    pub median_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Iterations per sample used after calibration.
+    pub iters_per_sample: u64,
+}
+
+/// Runs the body handed to [`Bencher::iter`] and times it.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` over the calibrated iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver (criterion-compatible subset).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Measurement)>,
+}
+
+impl Criterion {
+    /// Creates a driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Benchmarks `f`, which must call [`Bencher::iter`] exactly once.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibrate: double iterations until the sample window is long
+        // enough for the clock to be negligible.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= MIN_SAMPLE || iters >= 1 << 40 {
+                break;
+            }
+            // Jump close to the target, at least doubling.
+            let factor = (MIN_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters as f64 * factor.clamp(2.0, 100.0)) as u64;
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let m = Measurement {
+            median_ns: per_iter[per_iter.len() / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            min_ns: per_iter[0],
+            iters_per_sample: iters,
+        };
+        println!(
+            "{name:<40} median {:>12}  mean {:>12}  min {:>12}  ({} iters/sample)",
+            fmt_ns(m.median_ns),
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns),
+            m.iters_per_sample
+        );
+        self.results.push((name.to_string(), m));
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[(String, Measurement)] {
+        &self.results
+    }
+
+    /// Writes results as JSON to the `BENCH_JSON` path, if set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, (name, m)) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
+                 \"min_ns\": {:.3}, \"iters_per_sample\": {}}}",
+                m.median_ns, m.mean_ns, m.min_ns, m.iters_per_sample
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(group_a, group_b)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::new();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::new();
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        let (name, m) = &c.results()[0];
+        assert_eq!(name, "noop_add");
+        assert!(m.median_ns > 0.0 && m.median_ns < 1_000.0);
+    }
+}

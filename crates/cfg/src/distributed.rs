@@ -27,11 +27,10 @@
 
 use crate::slots::LinkKey;
 use noc_sim::{NiId, Topology, SLOT_WORDS};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One connection-opening request for the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistRequest {
     /// Source NI of the GT channel.
     pub from: NiId,
@@ -42,7 +41,7 @@ pub struct DistRequest {
 }
 
 /// Aggregate outcome of a configuration run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfigOutcome {
     /// Wall-clock cycles until the last request completed.
     pub cycles: u64,

@@ -16,10 +16,9 @@ use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
 use aethereal_ni::kernel::{chan_reg_addr, slot_reg_addr, ChanReg};
 use aethereal_ni::shell::config::global_addr;
 use aethereal_ni::transaction::Transaction;
-use serde::{Deserialize, Serialize};
 
 /// A decoded snapshot of one channel's registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelDump {
     /// Channel id.
     pub channel: usize,
@@ -38,7 +37,7 @@ pub struct ChannelDump {
 }
 
 /// A decoded snapshot of one NI's configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NiDump {
     /// The NI id as reported by its `NI_ID` register.
     pub ni_id: u32,

@@ -1,0 +1,453 @@
+//! A minimal self-contained JSON layer for [`NocSpec`](crate::NocSpec)
+//! persistence.
+//!
+//! The container this reproduction builds in has no network access to a
+//! crates registry, so the usual `serde`/`serde_json` pair is unavailable;
+//! this module provides the small subset the spec format needs: a [`Value`]
+//! tree, a strict parser, and a pretty printer. The encoding conventions
+//! mirror serde's defaults (externally tagged enums, `null` for `None`) so
+//! specs stay readable and stable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. The spec format only uses unsigned integers.
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Ordered map so output is deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+/// Error produced by [`parse`] or by the typed accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+    /// Byte offset in the input, when known.
+    pub at: Option<usize>,
+}
+
+impl JsonError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        JsonError {
+            msg: msg.into(),
+            at: None,
+        }
+    }
+
+    fn at(msg: impl Into<String>, at: usize) -> Self {
+        JsonError {
+            msg: msg.into(),
+            at: Some(at),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "{} (at byte {at})", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not a number.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not a number that fits.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        usize::try_from(self.as_u64()?).map_err(|_| JsonError::new("number too large for usize"))
+    }
+
+    /// The value as `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not a number that fits.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
+        u32::try_from(self.as_u64()?).map_err(|_| JsonError::new("number too large for u32"))
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Arr(v) => Ok(v),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Fetches a required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not an object or lacks `key`.
+    pub fn get(&self, key: &str) -> Result<&Value, JsonError> {
+        match self {
+            Value::Obj(m) => m
+                .get(key)
+                .ok_or_else(|| JsonError::new(format!("missing field `{key}`"))),
+            other => Err(JsonError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Interprets the value as an externally tagged enum: either a bare
+    /// string (unit variant) or a single-key object (data variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] for any other shape.
+    pub fn as_variant(&self) -> Result<(&str, Option<&Value>), JsonError> {
+        match self {
+            Value::Str(s) => Ok((s, None)),
+            Value::Obj(m) if m.len() == 1 => {
+                let (k, v) = m.iter().next().expect("len checked");
+                Ok((k, Some(v)))
+            }
+            other => Err(JsonError::new(format!(
+                "expected enum variant (string or 1-key object), got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Pretty-prints `v` with two-space indentation (serde_json style).
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(&n.to_string()),
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Obj(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+                write_string(k, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting depth accepted by [`parse`] (matches
+/// serde_json's default recursion limit; deeper input is rejected as an
+/// error instead of overflowing the stack).
+const MAX_DEPTH: usize = 128;
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input, trailing garbage, or nesting
+/// deeper than [`MAX_DEPTH`].
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError::at("trailing characters after document", pos));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::at(format!("expected `{}`", c as char), *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::at("nesting too deep", *pos));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError::at("unexpected end of input", *pos)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(JsonError::at("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(m));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let v = parse_value(b, pos, depth + 1)?;
+                m.insert(key, v);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(m));
+                    }
+                    _ => return Err(JsonError::at("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).expect("digits are ascii");
+            s.parse::<u64>()
+                .map(Value::Num)
+                .map_err(|_| JsonError::at("number out of range", start))
+        }
+        Some(_) => Err(JsonError::at("unexpected character", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(JsonError::at(format!("expected `{lit}`"), *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError::at("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::at("truncated \\u escape", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::at("bad \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at("bad \\u escape", *pos))?;
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError::at("bad \\u code point", *pos))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                s.push_str(
+                    std::str::from_utf8(&b[start..*pos])
+                        .map_err(|_| JsonError::at("invalid UTF-8", start))?,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Value::obj(vec![
+            ("a", Value::Num(3)),
+            ("b", Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("c", Value::Str("x\"y\\z".into())),
+        ]);
+        let s = to_string_pretty(&v);
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{not json").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = parse(" { \"k\" : [ 1 , \"\\u0041\\n\" ] } ").unwrap();
+        assert_eq!(
+            v.get("k").unwrap().as_arr().unwrap()[1].as_str().unwrap(),
+            "A\n"
+        );
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_overflowed() {
+        let deep = "[".repeat(50_000);
+        let err = parse(&deep).expect_err("must reject");
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+        // At the limit itself, parsing still works.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn variant_accessor() {
+        let unit = Value::Str("Direct".into());
+        assert_eq!(unit.as_variant().unwrap(), ("Direct", None));
+        let data = Value::obj(vec![("Ring", Value::Num(4))]);
+        let (tag, body) = data.as_variant().unwrap();
+        assert_eq!(tag, "Ring");
+        assert_eq!(body.unwrap().as_u64().unwrap(), 4);
+    }
+}

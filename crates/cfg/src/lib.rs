@@ -3,7 +3,7 @@
 //! The paper configures the Æthereal NoC at two time scales:
 //!
 //! * **Design (instantiation) time** — an XML description generates the
-//!   VHDL for NIs and topology. Here, [`NocSpec`] (serde-serializable, the
+//!   VHDL for NIs and topology. Here, [`NocSpec`] (JSON-serializable, the
 //!   XML stand-in) generates a runnable [`NocSystem`]: the `noc-sim`
 //!   network plus one `aethereal-ni::Ni` per attachment, with IP-module
 //!   bindings.
@@ -25,6 +25,7 @@
 
 pub mod distributed;
 pub mod inspect;
+pub mod json;
 pub mod presets;
 pub mod report;
 pub mod runtime;

@@ -4,10 +4,9 @@
 
 use crate::system::NocSystem;
 use noc_sim::WordClass;
-use serde::{Deserialize, Serialize};
 
 /// Per-NI traffic summary.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NiReport {
     /// NI id.
     pub ni: usize,
@@ -24,7 +23,7 @@ pub struct NiReport {
 }
 
 /// A whole-system snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemReport {
     /// Cycles elapsed.
     pub cycles: u64,

@@ -27,11 +27,10 @@ use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg
 use aethereal_ni::shell::config::global_addr;
 use aethereal_ni::transaction::{RespStatus, Transaction};
 use noc_sim::Topology;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One end of a connection: a channel of an NI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChannelEnd {
     /// The NI.
     pub ni: usize,
@@ -40,7 +39,7 @@ pub struct ChannelEnd {
 }
 
 /// Service level of one direction of a connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Service {
     /// Best-effort delivery.
     BestEffort,
@@ -63,7 +62,7 @@ impl Service {
 /// A connection to open: a master-side channel paired with a slave-side
 /// channel, with per-direction service levels (§2: "different properties
 /// can be attached to the request and response parts of a connection").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConnectionRequest {
     /// Master-side channel (source of request messages).
     pub master: ChannelEnd,
@@ -128,7 +127,7 @@ impl ConnectionHandle {
 }
 
 /// Configuration cost counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfigStats {
     /// Register writes issued (local + remote).
     pub reg_writes: u64,

@@ -15,7 +15,6 @@
 //! long multi-flit packets (lower header overhead).
 
 use noc_sim::{NiId, Path, PortIdx, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A directed link for slot bookkeeping: `(router, output port)`, with the
@@ -23,7 +22,7 @@ use std::collections::HashMap;
 pub type LinkKey = (usize, PortIdx);
 
 /// How reserved slots are placed in the table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotStrategy {
     /// Maximize spacing between slots (minimizes latency bound and jitter).
     Spread,
@@ -33,7 +32,7 @@ pub enum SlotStrategy {
 }
 
 /// A granted reservation (needed to free it again).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotAllocation {
     /// Injection slots at the source NI, ascending.
     pub injection_slots: Vec<usize>,

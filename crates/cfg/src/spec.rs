@@ -5,15 +5,18 @@
 //! as for the NoC topology."* [`NocSpec`] carries the same information —
 //! topology, per-NI port/channel/queue geometry, shells per port — and
 //! "generates" a runnable [`NocSystem`](crate::NocSystem) instead of VHDL.
-//! It derives `serde::{Serialize, Deserialize}` so specs can be stored and
-//! exchanged as data, round-trip tested in `tests/`.
+//! [`NocSpec::to_json`] / [`NocSpec::from_json`] persist it as JSON (via
+//! the in-tree [`json`](crate::json) layer), round-trip tested in `tests/`.
 
-use aethereal_ni::ni::NiSpec;
+use crate::json::{self, JsonError, Value};
+use aethereal_ni::kernel::{ArbPolicy, NiKernelSpec, PortSpec};
+use aethereal_ni::message::Ordering;
+use aethereal_ni::ni::{NiSpec, PortStackSpec};
+use aethereal_ni::shell::{AddrRange, ConnSelect};
 use noc_sim::{NocConfig, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Topology description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologySpec {
     /// `width × height` mesh, `nis_per_router` NIs on every router.
     Mesh {
@@ -58,7 +61,7 @@ impl TopologySpec {
 }
 
 /// A complete design-time NoC description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NocSpec {
     /// The topology.
     pub topology: TopologySpec,
@@ -153,10 +156,10 @@ impl NocSpec {
     ///
     /// # Errors
     ///
-    /// Returns the underlying serializer error (practically unreachable for
-    /// this data model).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Returns a [`JsonError`] (practically unreachable for this data
+    /// model).
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(json::to_string_pretty(&self.to_value()))
     }
 
     /// Parses a spec from its JSON form.
@@ -164,8 +167,267 @@ impl NocSpec {
     /// # Errors
     ///
     /// Returns the parse error for malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(input: &str) -> Result<Self, JsonError> {
+        Self::from_value(&json::parse(input)?)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("topology", topology_to_value(&self.topology)),
+            (
+                "nis",
+                Value::Arr(self.nis.iter().map(ni_spec_to_value).collect()),
+            ),
+            ("be_queue_words", Value::Num(self.be_queue_words as u64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(NocSpec {
+            topology: topology_from_value(v.get("topology")?)?,
+            nis: v
+                .get("nis")?
+                .as_arr()?
+                .iter()
+                .map(ni_spec_from_value)
+                .collect::<Result<_, _>>()?,
+            be_queue_words: v.get("be_queue_words")?.as_usize()?,
+        })
+    }
+}
+
+// ---- JSON conversions (externally tagged enums, serde-style) -------------
+
+fn topology_to_value(t: &TopologySpec) -> Value {
+    match *t {
+        TopologySpec::Mesh {
+            width,
+            height,
+            nis_per_router,
+        } => Value::obj(vec![(
+            "Mesh",
+            Value::obj(vec![
+                ("width", Value::Num(width as u64)),
+                ("height", Value::Num(height as u64)),
+                ("nis_per_router", Value::Num(nis_per_router as u64)),
+            ]),
+        )]),
+        TopologySpec::Ring { routers } => Value::obj(vec![(
+            "Ring",
+            Value::obj(vec![("routers", Value::Num(routers as u64))]),
+        )]),
+    }
+}
+
+fn topology_from_value(v: &Value) -> Result<TopologySpec, JsonError> {
+    match v.as_variant()? {
+        ("Mesh", Some(b)) => Ok(TopologySpec::Mesh {
+            width: b.get("width")?.as_usize()?,
+            height: b.get("height")?.as_usize()?,
+            nis_per_router: b.get("nis_per_router")?.as_usize()?,
+        }),
+        ("Ring", Some(b)) => Ok(TopologySpec::Ring {
+            routers: b.get("routers")?.as_usize()?,
+        }),
+        (tag, _) => Err(JsonError::new(format!("unknown topology `{tag}`"))),
+    }
+}
+
+fn ni_spec_to_value(ni: &NiSpec) -> Value {
+    Value::obj(vec![
+        ("kernel", kernel_spec_to_value(&ni.kernel)),
+        (
+            "stacks",
+            Value::Arr(ni.stacks.iter().map(stack_to_value).collect()),
+        ),
+    ])
+}
+
+fn ni_spec_from_value(v: &Value) -> Result<NiSpec, JsonError> {
+    Ok(NiSpec {
+        kernel: kernel_spec_from_value(v.get("kernel")?)?,
+        stacks: v
+            .get("stacks")?
+            .as_arr()?
+            .iter()
+            .map(stack_from_value)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn kernel_spec_to_value(k: &NiKernelSpec) -> Value {
+    Value::obj(vec![
+        ("ni_id", Value::Num(k.ni_id as u64)),
+        ("stu_slots", Value::Num(k.stu_slots as u64)),
+        ("max_packet_words", Value::Num(k.max_packet_words as u64)),
+        ("arb", arb_to_value(&k.arb)),
+        (
+            "ports",
+            Value::Arr(
+                k.ports
+                    .iter()
+                    .map(|p| {
+                        Value::obj(vec![
+                            ("channels", Value::Num(p.channels as u64)),
+                            ("clock_div", Value::Num(u64::from(p.clock_div))),
+                            ("queue_words", Value::Num(p.queue_words as u64)),
+                            ("crossing", Value::Num(p.crossing)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cnip_channel",
+            match k.cnip_channel {
+                Some(c) => Value::Num(c as u64),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn kernel_spec_from_value(v: &Value) -> Result<NiKernelSpec, JsonError> {
+    Ok(NiKernelSpec {
+        ni_id: v.get("ni_id")?.as_usize()?,
+        stu_slots: v.get("stu_slots")?.as_usize()?,
+        max_packet_words: v.get("max_packet_words")?.as_usize()?,
+        arb: arb_from_value(v.get("arb")?)?,
+        ports: v
+            .get("ports")?
+            .as_arr()?
+            .iter()
+            .map(|p| {
+                Ok(PortSpec {
+                    channels: p.get("channels")?.as_usize()?,
+                    clock_div: p.get("clock_div")?.as_u32()?,
+                    queue_words: p.get("queue_words")?.as_usize()?,
+                    crossing: p.get("crossing")?.as_u64()?,
+                })
+            })
+            .collect::<Result<_, JsonError>>()?,
+        cnip_channel: match v.get("cnip_channel")? {
+            Value::Null => None,
+            n => Some(n.as_usize()?),
+        },
+    })
+}
+
+fn arb_to_value(a: &ArbPolicy) -> Value {
+    match a {
+        ArbPolicy::RoundRobin => Value::Str("RoundRobin".into()),
+        ArbPolicy::WeightedRoundRobin(weights) => Value::obj(vec![(
+            "WeightedRoundRobin",
+            Value::Arr(weights.iter().map(|&w| Value::Num(u64::from(w))).collect()),
+        )]),
+        ArbPolicy::QueueFill => Value::Str("QueueFill".into()),
+    }
+}
+
+fn arb_from_value(v: &Value) -> Result<ArbPolicy, JsonError> {
+    match v.as_variant()? {
+        ("RoundRobin", None) => Ok(ArbPolicy::RoundRobin),
+        ("QueueFill", None) => Ok(ArbPolicy::QueueFill),
+        ("WeightedRoundRobin", Some(b)) => Ok(ArbPolicy::WeightedRoundRobin(
+            b.as_arr()?
+                .iter()
+                .map(Value::as_u32)
+                .collect::<Result<_, _>>()?,
+        )),
+        (tag, _) => Err(JsonError::new(format!("unknown arb policy `{tag}`"))),
+    }
+}
+
+fn ordering_to_value(o: Ordering) -> Value {
+    Value::Str(
+        match o {
+            Ordering::InOrder => "InOrder",
+            Ordering::Sequenced => "Sequenced",
+        }
+        .into(),
+    )
+}
+
+fn ordering_from_value(v: &Value) -> Result<Ordering, JsonError> {
+    match v.as_variant()? {
+        ("InOrder", None) => Ok(Ordering::InOrder),
+        ("Sequenced", None) => Ok(Ordering::Sequenced),
+        (tag, _) => Err(JsonError::new(format!("unknown ordering `{tag}`"))),
+    }
+}
+
+fn stack_to_value(s: &PortStackSpec) -> Value {
+    match s {
+        PortStackSpec::Raw => Value::Str("Raw".into()),
+        PortStackSpec::Config => Value::Str("Config".into()),
+        PortStackSpec::Cnip => Value::Str("Cnip".into()),
+        PortStackSpec::Master { conn, ordering } => Value::obj(vec![(
+            "Master",
+            Value::obj(vec![
+                ("conn", conn_to_value(conn)),
+                ("ordering", ordering_to_value(*ordering)),
+            ]),
+        )]),
+        PortStackSpec::Slave { ordering } => Value::obj(vec![(
+            "Slave",
+            Value::obj(vec![("ordering", ordering_to_value(*ordering))]),
+        )]),
+    }
+}
+
+fn stack_from_value(v: &Value) -> Result<PortStackSpec, JsonError> {
+    match v.as_variant()? {
+        ("Raw", None) => Ok(PortStackSpec::Raw),
+        ("Config", None) => Ok(PortStackSpec::Config),
+        ("Cnip", None) => Ok(PortStackSpec::Cnip),
+        ("Master", Some(b)) => Ok(PortStackSpec::Master {
+            conn: conn_from_value(b.get("conn")?)?,
+            ordering: ordering_from_value(b.get("ordering")?)?,
+        }),
+        ("Slave", Some(b)) => Ok(PortStackSpec::Slave {
+            ordering: ordering_from_value(b.get("ordering")?)?,
+        }),
+        (tag, _) => Err(JsonError::new(format!("unknown port stack `{tag}`"))),
+    }
+}
+
+fn conn_to_value(c: &ConnSelect) -> Value {
+    match c {
+        ConnSelect::Direct => Value::Str("Direct".into()),
+        ConnSelect::Multicast => Value::Str("Multicast".into()),
+        ConnSelect::Narrowcast(ranges) => Value::obj(vec![(
+            "Narrowcast",
+            Value::Arr(
+                ranges
+                    .iter()
+                    .map(|r| {
+                        Value::obj(vec![
+                            ("base", Value::Num(u64::from(r.base))),
+                            ("size", Value::Num(u64::from(r.size))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
+    }
+}
+
+fn conn_from_value(v: &Value) -> Result<ConnSelect, JsonError> {
+    match v.as_variant()? {
+        ("Direct", None) => Ok(ConnSelect::Direct),
+        ("Multicast", None) => Ok(ConnSelect::Multicast),
+        ("Narrowcast", Some(b)) => Ok(ConnSelect::Narrowcast(
+            b.as_arr()?
+                .iter()
+                .map(|r| {
+                    Ok(AddrRange {
+                        base: r.get("base")?.as_u32()?,
+                        size: r.get("size")?.as_u32()?,
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+        )),
+        (tag, _) => Err(JsonError::new(format!("unknown connection type `{tag}`"))),
     }
 }
 

@@ -11,25 +11,29 @@
 use crate::spec::NocSpec;
 use aethereal_ni::kernel::ChannelId;
 use aethereal_ni::Ni;
+use aethereal_proto::ip::RawPort;
 use aethereal_proto::{MasterIp, RawIp, SlaveIp};
+use noc_sim::engine::{ClockDomain, Clocked, ClockedWith, Engine};
 use noc_sim::Noc;
 
 struct MasterBinding {
     ni: usize,
     port: usize,
+    clock: ClockDomain,
     ip: Box<dyn MasterIp>,
 }
 
 struct SlaveBinding {
     ni: usize,
     port: usize,
+    clock: ClockDomain,
     ip: Box<dyn SlaveIp>,
 }
 
 struct RawBinding {
     ni: usize,
     channels: Vec<ChannelId>,
-    clock_div: u64,
+    clock: ClockDomain,
     ip: Box<dyn RawIp>,
 }
 
@@ -83,7 +87,13 @@ impl NocSystem {
             self.nis[ni].is_master(port),
             "port {port} of NI {ni} is not a master port"
         );
-        self.masters.push(MasterBinding { ni, port, ip });
+        let clock = ClockDomain::new(self.nis[ni].kernel.port_clock_div(port));
+        self.masters.push(MasterBinding {
+            ni,
+            port,
+            clock,
+            ip,
+        });
         self.masters.len() - 1
     }
 
@@ -93,7 +103,13 @@ impl NocSystem {
             self.nis[ni].is_slave(port),
             "port {port} of NI {ni} is not a slave port"
         );
-        self.slaves.push(SlaveBinding { ni, port, ip });
+        let clock = ClockDomain::new(self.nis[ni].kernel.port_clock_div(port));
+        self.slaves.push(SlaveBinding {
+            ni,
+            port,
+            clock,
+            ip,
+        });
         self.slaves.len() - 1
     }
 
@@ -106,11 +122,11 @@ impl NocSystem {
         channels: Vec<ChannelId>,
         ip: Box<dyn RawIp>,
     ) -> usize {
-        let clock_div = u64::from(self.nis[ni].kernel.port_clock_div(port));
+        let clock = ClockDomain::new(self.nis[ni].kernel.port_clock_div(port));
         self.raws.push(RawBinding {
             ni,
             channels,
-            clock_div,
+            clock,
             ip,
         });
         self.raws.len() - 1
@@ -177,54 +193,87 @@ impl NocSystem {
         self.noc.cycle()
     }
 
-    /// Advances the whole system by one network cycle.
+    /// Advances the whole system by one network cycle (a thin wrapper over
+    /// [`Engine::tick`]).
     pub fn tick(&mut self) {
-        let cycle = self.noc.cycle();
-        for b in &mut self.masters {
-            let div = u64::from(self.nis[b.ni].kernel.port_clock_div(b.port));
-            if cycle.is_multiple_of(div) {
-                b.ip.tick(self.nis[b.ni].master_mut(b.port), cycle);
-            }
-        }
-        for b in &mut self.slaves {
-            let div = u64::from(self.nis[b.ni].kernel.port_clock_div(b.port));
-            if cycle.is_multiple_of(div) {
-                b.ip.tick(self.nis[b.ni].slave_mut(b.port), cycle);
-            }
-        }
-        for b in &mut self.raws {
-            if cycle.is_multiple_of(b.clock_div) {
-                b.ip.tick(&mut self.nis[b.ni].kernel, &b.channels, cycle);
-            }
-        }
-        for (i, ni) in self.nis.iter_mut().enumerate() {
-            ni.tick(self.noc.ni_link_mut(i), cycle);
-        }
-        self.noc.tick();
+        Engine::tick(self);
     }
 
-    /// Runs `n` cycles.
+    /// Runs `n` cycles through [`Engine::run`] (with its quiescent fast
+    /// path). For a predicate-driven run use
+    /// `Engine::run_until(&mut sys, pred, max)`.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
-        }
-    }
-
-    /// Runs until `pred` holds or `max_cycles` elapse; returns whether the
-    /// predicate was met.
-    pub fn run_until(&mut self, mut pred: impl FnMut(&NocSystem) -> bool, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            if pred(self) {
-                return true;
-            }
-            self.tick();
-        }
-        pred(self)
+        Engine::run(self, n);
     }
 
     /// Whether every bound master and raw IP reports `done()`.
     pub fn all_ips_done(&self) -> bool {
         self.masters.iter().all(|b| b.ip.done()) && self.raws.iter().all(|b| b.ip.done())
+    }
+}
+
+/// The whole system on the engine contract. The emit phase serializes
+/// exactly like the seed's hand-rolled loop: IPs tick against their port
+/// stacks on their port clocks, every NI ticks against its link (shells,
+/// then kernel absorb/emit), and the network's routers and staging
+/// registers place this cycle's words on the wires. The absorb phase is the
+/// network's: wires register into router inputs and NI inboxes, credits
+/// return, the cycle completes.
+impl Clocked for NocSystem {
+    fn now(&self) -> u64 {
+        self.noc.cycle()
+    }
+
+    fn emit(&mut self) {
+        let cycle = self.noc.cycle();
+        for b in &mut self.masters {
+            if b.clock.ticks_at(cycle) {
+                b.ip.tick(self.nis[b.ni].master_mut(b.port), cycle);
+            }
+        }
+        for b in &mut self.slaves {
+            if b.clock.ticks_at(cycle) {
+                b.ip.tick(self.nis[b.ni].slave_mut(b.port), cycle);
+            }
+        }
+        for b in &mut self.raws {
+            if b.clock.ticks_at(cycle) {
+                b.ip.tick(
+                    &mut RawPort {
+                        kernel: &mut self.nis[b.ni].kernel,
+                        channels: &b.channels,
+                    },
+                    cycle,
+                );
+            }
+        }
+        for (i, ni) in self.nis.iter_mut().enumerate() {
+            ni.tick(self.noc.ni_link_mut(i), cycle);
+        }
+        self.noc.emit();
+    }
+
+    fn absorb(&mut self) {
+        self.noc.absorb();
+    }
+
+    /// The system is quiescent when every workload is done, every shell
+    /// stack and NI kernel is drained, and the network carries nothing —
+    /// then only time-derived counters (cycle, reserved-but-unused GT
+    /// slots) can change, which [`skip`](Clocked::skip) computes directly.
+    fn quiescent(&self) -> bool {
+        self.masters.iter().all(|b| b.ip.done())
+            && self.raws.iter().all(|b| b.ip.done())
+            && self.nis.iter().all(ClockedWith::quiescent)
+            && self.noc.quiescent()
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        let from = self.noc.cycle();
+        for ni in &mut self.nis {
+            ClockedWith::skip(ni, from, cycles);
+        }
+        self.noc.skip(cycles);
     }
 }
 
@@ -255,17 +304,17 @@ mod tests {
     }
 
     #[test]
-    fn run_until_stops_early() {
+    fn engine_until_stops_early() {
         let mut sys = small_system();
-        let met = sys.run_until(|s| s.cycle() >= 5, 100);
+        let met = Engine::run_until(&mut sys, |s| s.cycle() >= 5, 100);
         assert!(met);
         assert_eq!(sys.cycle(), 5);
     }
 
     #[test]
-    fn run_until_times_out() {
+    fn engine_until_times_out() {
         let mut sys = small_system();
-        let met = sys.run_until(|_| false, 7);
+        let met = Engine::run_until(&mut sys, |_| false, 7);
         assert!(!met);
         assert_eq!(sys.cycle(), 7);
     }
@@ -275,8 +324,11 @@ mod tests {
     fn bind_master_to_slave_port_panics() {
         let mut sys = small_system();
         struct Dummy;
+        impl ClockedWith<aethereal_ni::shell::MasterStack> for Dummy {
+            fn absorb(&mut self, _: &mut aethereal_ni::shell::MasterStack, _: u64) {}
+            fn emit(&mut self, _: &mut aethereal_ni::shell::MasterStack, _: u64) {}
+        }
         impl MasterIp for Dummy {
-            fn tick(&mut self, _: &mut aethereal_ni::shell::MasterStack, _: u64) {}
             fn as_any(&self) -> &dyn std::any::Any {
                 self
             }

@@ -1,8 +1,8 @@
 //! Property-based tests of the slot allocator and the design-time spec.
 
 use aethereal_cfg::{presets, NocSpec, SlotAllocator, SlotStrategy, TopologySpec};
+use aethereal_testkit::prelude::*;
 use noc_sim::{Topology, SLOT_WORDS};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn arb_strategy() -> impl Strategy<Value = SlotStrategy> {

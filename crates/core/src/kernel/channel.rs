@@ -8,14 +8,13 @@
 //! that overrides the thresholds to prevent starvation.
 
 use crate::fifo::HwFifo;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a channel (endpoint) within one NI. Equals the destination
 /// queue id (`qid`) used in packet headers addressed to this NI.
 pub type ChannelId = usize;
 
 /// Per-channel statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Payload words sent into the NoC.
     pub words_tx: u64,

@@ -3,8 +3,9 @@
 //! packetization/depacketization, the threshold/flush machinery, the
 //! memory-mapped register file, and the built-in CNIP slave.
 //!
-//! One [`NiKernel::tick`] call advances the kernel by one 500 MHz network
-//! cycle:
+//! The kernel is an endpoint on the engine's two-phase cycle contract: it
+//! implements [`ClockedWith<NiLink>`] and one `tick` (absorb, then emit)
+//! advances it by one 500 MHz network cycle:
 //!
 //! 1. **depacketize** everything delivered by the router (credits are added
 //!    to `Space`, payload lands in destination queues selected by the header
@@ -28,16 +29,16 @@ pub use sched::ArbPolicy;
 use crate::fifo::{FifoFullError, DEFAULT_CROSSING_CYCLES};
 use crate::message::{MessageAssembler, MsgKind, Ordering, RequestMsg, ResponseMsg};
 use crate::transaction::{Cmd, RespStatus, TransactionResponse};
+use noc_sim::engine::ClockedWith;
 use noc_sim::header::MAX_HEADER_CREDITS;
 use noc_sim::{LinkWord, NiLink, PacketHeader, Path, WordClass, SLOT_WORDS};
 use regs::{RegAddr, CTRL_ENABLE, CTRL_GT};
 use sched::ArbState;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Geometry of one NI port (selected at instantiation time, §4.1: "their
 /// maximum number being selected at NI instantiation time").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortSpec {
     /// Number of point-to-point channels at this port.
     pub channels: usize,
@@ -62,7 +63,7 @@ impl Default for PortSpec {
 }
 
 /// Design-time parameters of an NI kernel instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NiKernelSpec {
     /// NI identifier (readable at register [`regs::REG_NI_ID`]).
     pub ni_id: usize,
@@ -126,7 +127,7 @@ impl Default for NiKernelSpec {
 }
 
 /// Kernel-level statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NiKernelStats {
     /// Packets sent per class (`[GT, BE]`).
     pub packets_tx: [u64; 2],
@@ -387,17 +388,7 @@ impl NiKernel {
         }
     }
 
-    // ---- Network-side tick ---------------------------------------------
-
-    /// Advances the kernel by one network cycle against its router link.
-    pub fn tick(&mut self, link: &mut NiLink, cycle: u64) {
-        self.depacketize(link, cycle);
-        self.service_cnip(cycle);
-        if cycle.is_multiple_of(SLOT_WORDS) {
-            self.build_packets(cycle);
-        }
-        self.emit(link);
-    }
+    // ---- Network-side cycle (the ClockedWith impl drives these) --------
 
     fn depacketize(&mut self, link: &mut NiLink, _cycle: u64) {
         while let Some(w) = link.recv() {
@@ -516,8 +507,9 @@ impl NiKernel {
                 if c.enabled && c.gt && c.eligible(cycle) {
                     let run = self.slot_run(ch, slot);
                     let budget = usize::min(run * SLOT_WORDS as usize, self.spec.max_packet_words);
-                    let words = self.build_packet(ch, WordClass::Guaranteed, budget, cycle);
-                    self.tx_gt = words;
+                    let mut q = std::mem::take(&mut self.tx_gt);
+                    self.build_packet_into(ch, WordClass::Guaranteed, budget, cycle, &mut q);
+                    self.tx_gt = q;
                 } else {
                     self.stats.gt_slots_unused += 1;
                 }
@@ -541,7 +533,9 @@ impl NiKernel {
                 })
             {
                 let budget = self.spec.max_packet_words;
-                self.tx_be = self.build_packet(ch, WordClass::BestEffort, budget, cycle);
+                let mut q = std::mem::take(&mut self.tx_be);
+                self.build_packet_into(ch, WordClass::BestEffort, budget, cycle, &mut q);
+                self.tx_be = q;
             }
         }
     }
@@ -550,13 +544,15 @@ impl NiKernel {
     /// credit return plus as much sendable data as the budget allows (§4.1:
     /// "once a queue is selected, a packet containing the largest possible
     /// amount of credits and data will be produced").
-    fn build_packet(
+    fn build_packet_into(
         &mut self,
         ch: ChannelId,
         class: WordClass,
         budget_words: usize,
         now: u64,
-    ) -> VecDeque<LinkWord> {
+        words: &mut VecDeque<LinkWord>,
+    ) {
+        debug_assert!(words.is_empty(), "packetizer must be idle");
         let c = &mut self.channels[ch];
         let credits = u32::min(c.credit_counter, MAX_HEADER_CREDITS);
         let payload = if c.data_eligible(now) {
@@ -584,7 +580,6 @@ impl NiKernel {
             self.stats.credit_only_tx += 1;
             c.stats.credit_only_tx += 1;
         }
-        let mut words = VecDeque::with_capacity(payload + 1);
         if payload == 0 {
             words.push_back(LinkWord::header_only(header.pack(), class));
         } else {
@@ -594,10 +589,9 @@ impl NiKernel {
                 words.push_back(LinkWord::payload(w, class, i + 1 == payload));
             }
         }
-        words
     }
 
-    fn emit(&mut self, link: &mut NiLink) {
+    fn stage_word(&mut self, link: &mut NiLink) {
         if link.is_busy() {
             return;
         }
@@ -607,6 +601,62 @@ impl NiKernel {
             let w = self.tx_be.pop_front().expect("checked non-empty");
             link.send(w);
         }
+    }
+}
+
+/// The kernel on the engine contract: absorb drains what the previous
+/// network cycle delivered (depacketization plus one CNIP operation word),
+/// emit builds packets at slot boundaries and stages at most one word onto
+/// the link.
+impl ClockedWith<NiLink> for NiKernel {
+    fn absorb(&mut self, link: &mut NiLink, cycle: u64) {
+        self.depacketize(link, cycle);
+        self.service_cnip(cycle);
+    }
+
+    fn emit(&mut self, link: &mut NiLink, cycle: u64) {
+        if cycle.is_multiple_of(SLOT_WORDS) {
+            self.build_packets(cycle);
+        }
+        self.stage_word(link);
+    }
+
+    /// Nothing queued, packetized or owed anywhere: a tick can only record
+    /// reserved-but-unused GT slots, which [`skip`](ClockedWith::skip)
+    /// accounts for arithmetically.
+    fn quiescent(&self) -> bool {
+        self.tx_gt.is_empty()
+            && self.tx_be.is_empty()
+            && self
+                .channels
+                .iter()
+                .all(|c| c.src_q.is_empty() && c.dst_q.is_empty() && c.credit_counter == 0)
+            && self.cnip.as_ref().is_none_or(|c| c.out.is_empty())
+    }
+
+    /// Slot-table-aware time skip: while quiescent, the only per-cycle
+    /// effect is one `gt_slots_unused` event per reserved slot whose
+    /// boundary is crossed — counted here by walking the slot table once
+    /// instead of ticking `cycles` times.
+    fn skip(&mut self, from_cycle: u64, cycles: u64) {
+        debug_assert!(ClockedWith::<NiLink>::quiescent(self));
+        // Slot boundaries in [0, n) number ceil(n / SLOT_WORDS).
+        let boundaries_before = from_cycle.div_ceil(SLOT_WORDS);
+        let boundaries = (from_cycle + cycles).div_ceil(SLOT_WORDS) - boundaries_before;
+        if boundaries == 0 {
+            return;
+        }
+        let stu = self.spec.stu_slots as u64;
+        let owned_per_table = self.slot_table.iter().filter(|&&s| s != 0).count() as u64;
+        let full_tables = boundaries / stu;
+        let mut unused = full_tables * owned_per_table;
+        let first_slot = boundaries_before % stu;
+        for j in 0..(boundaries % stu) {
+            if self.slot_table[((first_slot + j) % stu) as usize] != 0 {
+                unused += 1;
+            }
+        }
+        self.stats.gt_slots_unused += unused;
     }
 }
 

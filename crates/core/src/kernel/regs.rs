@@ -28,8 +28,6 @@
 //! side additionally writes the two thresholds ("5 registers at the master
 //! NI") plus slot-table entries for GT channels.
 
-use serde::{Deserialize, Serialize};
-
 /// Base address of the slot-table registers.
 pub const SLOT_BASE: u32 = 0x0080;
 
@@ -47,7 +45,7 @@ pub const REG_STU_SLOTS: u32 = 0x0001;
 pub const REG_CHAN_COUNT: u32 = 0x0002;
 
 /// Per-channel register offsets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChanReg {
     /// Enable / GT control.
     Ctrl,

@@ -5,10 +5,8 @@
 //! round-robin, or based on the queue filling."* All three are implemented
 //! and selectable per NI instance; the E10 bench ablates them.
 
-use serde::{Deserialize, Serialize};
-
 /// The BE arbitration scheme of an NI kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ArbPolicy {
     /// Plain round-robin over eligible channels.
     #[default]

@@ -28,7 +28,6 @@
 //! ```
 
 use crate::transaction::{Cmd, RespStatus, Transaction, TransactionResponse};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Maximum data words per message (8-bit length field).
@@ -42,7 +41,7 @@ const TRANS_ID_BITS: u32 = 12;
 pub const MAX_TRANS_ID: u16 = (1 << TRANS_ID_BITS) - 1;
 
 /// Whether a channel's messages carry the trailing sequence-number word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Ordering {
     /// In-order channel: no sequence word (prototype default).
     #[default]
@@ -61,7 +60,7 @@ impl Ordering {
 }
 
 /// A decoded request message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestMsg {
     /// Command.
     pub cmd: Cmd,
@@ -198,7 +197,7 @@ impl RequestMsg {
 }
 
 /// A decoded response message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResponseMsg {
     /// Execution status.
     pub status: RespStatus,
@@ -322,7 +321,7 @@ impl std::fmt::Display for MsgError {
 impl std::error::Error for MsgError {}
 
 /// Which message format a word stream carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgKind {
     /// Request messages (master → slave direction).
     Request,

@@ -12,11 +12,11 @@
 use crate::kernel::{ChannelId, NiKernel, NiKernelSpec};
 use crate::message::Ordering;
 use crate::shell::{ConfigStack, ConnSelect, MasterStack, SlaveStack};
+use noc_sim::engine::{ClockDomain, ClockedWith};
 use noc_sim::NiLink;
-use serde::{Deserialize, Serialize};
 
 /// The shell stack attached to one NI port, selected at design time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PortStackSpec {
     /// No shell: the IP streams raw message words through the kernel
     /// channel API (point-to-point connections, e.g. video pixel pipelines).
@@ -42,7 +42,7 @@ pub enum PortStackSpec {
 }
 
 /// Design-time description of a full NI.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NiSpec {
     /// Kernel geometry.
     pub kernel: NiKernelSpec,
@@ -73,6 +73,9 @@ pub struct Ni {
     /// channel-level API directly.
     pub kernel: NiKernel,
     stacks: Vec<PortStack>,
+    /// Per-port clock domains (each port "can have a different clock
+    /// frequency", §4.1).
+    clocks: Vec<ClockDomain>,
 }
 
 impl Ni {
@@ -119,7 +122,14 @@ impl Ni {
                 }
             })
             .collect();
-        Ni { kernel, stacks }
+        let clocks = (0..kernel.spec().ports.len())
+            .map(|p| ClockDomain::new(kernel.port_clock_div(p)))
+            .collect();
+        Ni {
+            kernel,
+            stacks,
+            clocks,
+        }
     }
 
     /// NI identifier.
@@ -193,12 +203,27 @@ impl Ni {
         matches!(self.stacks[port], PortStack::Slave(_))
     }
 
-    /// Advances the NI by one network cycle: shells tick on their port
-    /// clocks, then the kernel runs its network-side pipeline.
-    pub fn tick(&mut self, link: &mut NiLink, cycle: u64) {
+    /// Whether every shell stack is idle (the kernel is accounted for
+    /// separately by [`ClockedWith::quiescent`]).
+    fn stacks_idle(&self) -> bool {
+        self.stacks.iter().all(|s| match s {
+            PortStack::Raw | PortStack::Cnip => true,
+            PortStack::Master(m) => m.is_idle(),
+            PortStack::Slave(s) => s.is_idle(),
+            PortStack::Config(c) => c.is_idle(),
+        })
+    }
+}
+
+/// A whole NI on the engine contract. One `tick` (absorb, then emit) is one
+/// network cycle: shells run on their port clocks and the kernel drains the
+/// link inbox in the absorb phase, then the kernel packetizes and stages
+/// this cycle's word in the emit phase — the exact serialization of the
+/// seed's hand-rolled loop.
+impl ClockedWith<NiLink> for Ni {
+    fn absorb(&mut self, link: &mut NiLink, cycle: u64) {
         for (p, stack) in self.stacks.iter_mut().enumerate() {
-            let div = u64::from(self.kernel.port_clock_div(p));
-            if !cycle.is_multiple_of(div) {
+            if !self.clocks[p].ticks_at(cycle) {
                 continue;
             }
             match stack {
@@ -208,7 +233,19 @@ impl Ni {
                 PortStack::Config(c) => c.tick(&mut self.kernel, cycle),
             }
         }
-        self.kernel.tick(link, cycle);
+        self.kernel.absorb(link, cycle);
+    }
+
+    fn emit(&mut self, link: &mut NiLink, cycle: u64) {
+        self.kernel.emit(link, cycle);
+    }
+
+    fn quiescent(&self) -> bool {
+        ClockedWith::<NiLink>::quiescent(&self.kernel) && self.stacks_idle()
+    }
+
+    fn skip(&mut self, from_cycle: u64, cycles: u64) {
+        ClockedWith::<NiLink>::skip(&mut self.kernel, from_cycle, cycles);
     }
 }
 

@@ -144,6 +144,15 @@ impl ConfigStack {
         self.pending.len() + self.history.len() + usize::from(self.tx.is_some())
     }
 
+    /// Whether a tick of this shell (against a quiescent kernel) can change
+    /// nothing: no operation pending, serializing or awaiting its response.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.tx.is_none()
+            && self.history.is_empty()
+            && self.resp_out.is_empty()
+    }
+
     /// Advances the shell by one port cycle.
     pub fn tick(&mut self, kernel: &mut NiKernel, now: u64) {
         self.dispatch(kernel);

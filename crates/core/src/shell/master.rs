@@ -17,7 +17,6 @@
 use crate::kernel::{ChannelId, NiKernel};
 use crate::message::{MessageAssembler, MsgKind, Ordering, RequestMsg};
 use crate::transaction::{RespStatus, Transaction, TransactionResponse};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Sequentialization latency of the master shell, in port cycles (§5:
@@ -25,7 +24,7 @@ use std::collections::VecDeque;
 pub const SEQ_LATENCY_CYCLES: u64 = 2;
 
 /// An address range served by one channel of a narrowcast connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddrRange {
     /// First address of the range.
     pub base: u32,
@@ -41,7 +40,7 @@ impl AddrRange {
 }
 
 /// How a master port's transactions map onto its channels.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConnSelect {
     /// Point-to-point: a single channel carries everything.
     Direct,
@@ -172,6 +171,16 @@ impl MasterStack {
     /// Transactions rejected by the shell itself (address decode misses).
     pub fn shell_errors(&self) -> u64 {
         self.shell_errors
+    }
+
+    /// Whether a tick of this shell (against a quiescent kernel) can change
+    /// nothing: no transaction pending or in serialization, no response
+    /// owed or waiting for the IP.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.tx.is_none()
+            && self.history.is_empty()
+            && self.resp_out.is_empty()
     }
 
     /// Selects target channels for a transaction; returns `None` on a

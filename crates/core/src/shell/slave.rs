@@ -92,6 +92,17 @@ impl SlaveStack {
         self.history.len()
     }
 
+    /// Whether a tick of this shell (against a quiescent kernel) can change
+    /// nothing: no assembled request to schedule or hand over, no response
+    /// owed, in serialization or being pushed.
+    pub fn is_idle(&self) -> bool {
+        self.tx.is_none()
+            && self.resp_pending.is_empty()
+            && self.req_out.is_empty()
+            && self.history.is_empty()
+            && self.asm.iter().all(|a| a.ready() == 0)
+    }
+
     /// Advances the shell by one port cycle (`now` in network cycles).
     pub fn tick(&mut self, kernel: &mut NiKernel, now: u64) {
         self.pull_requests(kernel, now);

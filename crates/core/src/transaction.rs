@@ -6,14 +6,12 @@
 //! toward AXI/OCP/DTL; the simplified DTL master/slave shells serialize
 //! these structures into the message formats of Fig. 7.
 
-use serde::{Deserialize, Serialize};
-
 /// Transaction commands.
 ///
 /// `Read`/`Write`/`AckedWrite` are the simplified-DTL set used throughout
 /// the paper; `ReadLinked`/`WriteConditional` are the "full-fledged shell"
 /// extensions the paper names for the slave side (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cmd {
     /// Read `length` words from `addr`.
     Read,
@@ -81,7 +79,7 @@ impl std::fmt::Display for Cmd {
 }
 
 /// Response status codes (4 bits on the wire).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RespStatus {
     /// Success.
     #[default]
@@ -143,7 +141,7 @@ impl std::fmt::Display for RespStatus {
 }
 
 /// A master-issued transaction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transaction {
     /// Command.
     pub cmd: Cmd,
@@ -214,7 +212,7 @@ impl Transaction {
 }
 
 /// A slave-issued response.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransactionResponse {
     /// Echo of the request's `trans_id`.
     pub trans_id: u16,

@@ -5,6 +5,7 @@
 use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
 use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
 use aethereal_ni::{NiKernel, NiKernelSpec};
+use noc_sim::engine::ClockedWith;
 use noc_sim::{Noc, Topology};
 
 /// Two reference NIs, all 8 channel pairs configured 1:1, a mix of GT

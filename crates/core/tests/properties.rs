@@ -7,8 +7,9 @@ use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg
 use aethereal_ni::message::{MessageAssembler, MsgKind, Ordering, RequestMsg, ResponseMsg};
 use aethereal_ni::transaction::{Cmd, RespStatus, Transaction, TransactionResponse};
 use aethereal_ni::{NiKernel, NiKernelSpec};
+use aethereal_testkit::prelude::*;
+use noc_sim::engine::ClockedWith;
 use noc_sim::{Noc, Topology};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 fn arb_cmd() -> impl Strategy<Value = Cmd> {

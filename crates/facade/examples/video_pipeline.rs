@@ -18,6 +18,7 @@ use aethereal::proto::{
     MemorySlave, PixelStage, StreamSink, StreamSource, TrafficGenerator, TrafficGeneratorConfig,
     TrafficMix,
 };
+use aethereal::sim::Engine;
 
 const PIXELS: u64 = 2_000;
 
@@ -112,7 +113,8 @@ fn main() {
     let sink = sys.bind_raw(4, 1, vec![1], Box::new(StreamSink::new()));
 
     let start = sys.cycle();
-    sys.run_until(
+    Engine::run_until(
+        &mut sys,
         |s| s.raw_ip_as::<StreamSink>(sink).received().len() as u64 >= PIXELS,
         200_000,
     );

@@ -8,6 +8,7 @@ use aethereal::cfg::{
 };
 use aethereal::ni::{Cmd, RespStatus, Transaction};
 use aethereal::proto::{MemorySlave, TrafficGenerator, TrafficGeneratorConfig, TrafficMix};
+use aethereal::sim::Engine;
 
 /// Builds the canonical test system: 2×1 mesh, 2 NIs per router — config
 /// module (NI0) and master (NI1) on router 0, two slaves (NI2, NI3) on
@@ -109,7 +110,7 @@ fn traffic_generator_completes_against_memory() {
         max_outstanding: 2,
     });
     let h = sys.bind_master(1, 1, Box::new(gen));
-    let done = sys.run_until(|s| s.all_ips_done(), 200_000);
+    let done = Engine::run_until(&mut sys, |s| s.all_ips_done(), 200_000);
     assert!(done, "all 50 transactions must complete");
     let lat = {
         let ip = sys.master_ip(h);

@@ -11,6 +11,7 @@ use aethereal::proto::{
     MasterIp, MemorySlave, StreamSink, StreamSource, TrafficGenerator, TrafficGeneratorConfig,
     TrafficMix,
 };
+use aethereal::sim::Engine;
 use aethereal::sim::SLOT_WORDS;
 
 const STU: usize = 8;
@@ -221,7 +222,11 @@ fn be_makes_progress_even_under_gt_pressure() {
         })),
     );
     assert!(
-        sys.run_until(|s| s.master_ip_as::<TrafficGenerator>(be).done(), 600_000,),
+        Engine::run_until(
+            &mut sys,
+            |s| s.master_ip_as::<TrafficGenerator>(be).done(),
+            600_000,
+        ),
         "BE must complete despite heavy GT reservations"
     );
     let g = sys.master_ip_as::<TrafficGenerator>(be);
@@ -286,7 +291,11 @@ fn unused_gt_slots_are_recovered_by_be() {
             ..Default::default()
         })),
     );
-    assert!(sys.run_until(|s| s.master_ip_as::<TrafficGenerator>(be).done(), 300_000,));
+    assert!(Engine::run_until(
+        &mut sys,
+        |s| s.master_ip_as::<TrafficGenerator>(be).done(),
+        300_000,
+    ));
     let g = sys.master_ip_as::<TrafficGenerator>(be);
     assert_eq!(g.issued(), 100);
     // GT channel stats show slots passing unused.

@@ -11,6 +11,7 @@ use aethereal::ni::{Cmd, RespStatus, Transaction};
 use aethereal::proto::{
     MemorySlave, Trace, TraceMaster, TrafficGenerator, TrafficGeneratorConfig, TrafficMix,
 };
+use aethereal::sim::Engine;
 
 fn poll_master(sys: &mut NocSystem, ni: usize) -> aethereal::ni::TransactionResponse {
     for _ in 0..40_000 {
@@ -235,7 +236,7 @@ fn trace_master_replays_with_timing() {
         }
     });
     let h = sys.bind_master(1, 1, Box::new(TraceMaster::new(trace)));
-    let done = sys.run_until(|s| s.all_ips_done(), 100_000);
+    let done = Engine::run_until(&mut sys, |s| s.all_ips_done(), 100_000);
     assert!(done, "trace must complete");
     let m = sys.master_ip_as::<TraceMaster>(h);
     assert_eq!(m.issued(), 10);
@@ -302,7 +303,7 @@ fn traffic_generator_under_mixed_load_keeps_invariants() {
             ..Default::default()
         })),
     );
-    assert!(sys.run_until(|s| s.all_ips_done(), 400_000));
+    assert!(Engine::run_until(&mut sys, |s| s.all_ips_done(), 400_000));
     let g = sys.master_ip_as::<TrafficGenerator>(h);
     assert_eq!(g.issued(), 120);
     assert_eq!(g.errors(), 0);

@@ -1,0 +1,113 @@
+//! Pins the zero-allocation property of the steady-state `Noc::tick` path.
+//!
+//! The engine refactor replaced the growable `VecDeque` transport in
+//! `NiLink` and the routers with fixed-capacity rings and gave the `Noc`
+//! reusable per-tick scratch buffers. With `LinkWord: Copy`, every word now
+//! moves by value through preallocated storage — so after warm-up, ticking
+//! a loaded network must hit the allocator exactly zero times. A counting
+//! global allocator enforces that here; the `micro` bench tracks the same
+//! path's speed.
+
+use aethereal::sim::{LinkWord, Noc, PacketHeader, Topology, WordClass};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// counter is a relaxed atomic with no aliasing of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_noc_tick_allocates_nothing() {
+    // Saturate a 2x2 mesh with BE single-word packets plus a periodic GT
+    // flit so both datapaths (wormhole queues and the GT calendar) are hot.
+    let topo = Topology::mesh(2, 2, 1);
+    let mut noc = Noc::new(&topo);
+    let be_path = topo.route(0, 3).expect("route");
+    let gt_path = topo.route(1, 2).expect("route");
+    let be = PacketHeader {
+        path: be_path,
+        qid: 0,
+        credits: 0,
+        flush: false,
+    }
+    .pack();
+    let gt = PacketHeader {
+        path: gt_path,
+        qid: 1,
+        credits: 0,
+        flush: false,
+    }
+    .pack();
+    let drive = |noc: &mut Noc, cycles: u64| {
+        let mut delivered = 0u64;
+        for c in 0..cycles {
+            {
+                let link = noc.ni_link_mut(0);
+                if !link.is_busy() && link.be_credits() > 0 {
+                    link.send(LinkWord::header_only(be, WordClass::BestEffort));
+                }
+            }
+            {
+                let link = noc.ni_link_mut(1);
+                if c % 3 == 0 && !link.is_busy() {
+                    link.send(LinkWord::header_only(gt, WordClass::Guaranteed));
+                }
+            }
+            noc.tick();
+            while noc.ni_link_mut(3).recv().is_some() {
+                delivered += 1;
+            }
+            while noc.ni_link_mut(2).recv().is_some() {
+                delivered += 1;
+            }
+        }
+        delivered
+    };
+    // Warm up: reach steady state (queues at depth, scratch buffers sized).
+    drive(&mut noc, 2_000);
+    // Measure.
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    let delivered = drive(&mut noc, 10_000);
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+    assert!(delivered > 5_000, "traffic actually flowed: {delivered}");
+    assert_eq!(
+        allocs, 0,
+        "steady-state Noc::tick path must not touch the allocator"
+    );
+    assert_eq!(noc.gt_conflicts(), 0);
+    assert_eq!(noc.be_overflows(), 0);
+}
+
+#[test]
+fn quiescent_skip_allocates_nothing() {
+    let topo = Topology::mesh(2, 2, 1);
+    let mut noc = Noc::new(&topo);
+    noc.run(10); // settle
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    noc.run(1_000_000); // idle: the engine batches this into one skip
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+    assert_eq!(allocs, 0, "the quiescent fast path must not allocate");
+    assert_eq!(noc.cycle(), 1_000_010);
+    assert_eq!(noc.stats().cycles, 1_000_010);
+}

@@ -1,42 +1,49 @@
 //! The IP-module traits ticked by the system orchestrator.
 //!
-//! Each IP is ticked at its own port clock (ports "can have a different
-//! clock frequency", §4.1 of the paper); `now` is always in base network
-//! cycles.
+//! Every IP is an endpoint on the engine's two-phase contract
+//! ([`ClockedWith`]): it `absorb`s what its port delivered (responses,
+//! requests, stream words), then `emit`s new work toward the port. The
+//! orchestrator ticks each IP at its own port clock (ports "can have a
+//! different clock frequency", §4.1 of the paper); `cycle` is always in
+//! base network cycles.
+//!
+//! The traits here only add what the contract does not carry: `as_any` for
+//! post-run inspection and `done` for run-to-idle driving.
 
 use aethereal_ni::kernel::{ChannelId, NiKernel};
 use aethereal_ni::shell::{MasterStack, SlaveStack};
+pub use noc_sim::engine::ClockedWith;
+
+/// The context a raw streaming IP ticks against: direct kernel channel
+/// access (no shell), the point-to-point connection style of §4.2.
+#[derive(Debug)]
+pub struct RawPort<'a> {
+    /// The NI kernel owning the channels.
+    pub kernel: &'a mut NiKernel,
+    /// The channels bound to this IP, in the IP's port order.
+    pub channels: &'a [ChannelId],
+}
 
 /// A master IP module driving a master port.
-pub trait MasterIp {
-    /// Advances the IP by one port cycle against its port stack.
-    fn tick(&mut self, port: &mut MasterStack, now: u64);
-
+pub trait MasterIp: ClockedWith<MasterStack> {
     /// Concrete-type access for post-run inspection (latency stats etc.).
     fn as_any(&self) -> &dyn std::any::Any;
 
-    /// Whether the IP has finished its workload (used by
-    /// `NocSystem::run_until_idle`).
+    /// Whether the IP has finished its workload (used by the engine's
+    /// quiescence detection and run-to-idle predicates).
     fn done(&self) -> bool {
         false
     }
 }
 
 /// A slave IP module serving a slave port.
-pub trait SlaveIp {
-    /// Advances the IP by one port cycle against its port stack.
-    fn tick(&mut self, port: &mut SlaveStack, now: u64);
-
+pub trait SlaveIp: ClockedWith<SlaveStack> {
     /// Concrete-type access for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;
 }
 
-/// An IP streaming raw message words through kernel channels (no shell) —
-/// the point-to-point connection style of §4.2.
-pub trait RawIp {
-    /// Advances the IP by one port cycle with direct kernel channel access.
-    fn tick(&mut self, kernel: &mut NiKernel, channels: &[ChannelId], now: u64);
-
+/// An IP streaming raw message words through kernel channels (no shell).
+pub trait RawIp: for<'a> ClockedWith<RawPort<'a>> {
     /// Concrete-type access for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;
 

@@ -6,7 +6,7 @@
 //! a write-conditional succeeds only if the reservation still stands
 //! (any intervening write to that address clears it).
 
-use crate::ip::SlaveIp;
+use crate::ip::{ClockedWith, SlaveIp};
 use aethereal_ni::shell::SlaveStack;
 use aethereal_ni::transaction::{Cmd, RespStatus, Transaction, TransactionResponse};
 use std::collections::{HashMap, VecDeque};
@@ -99,13 +99,12 @@ impl MemorySlave {
     }
 }
 
-impl SlaveIp for MemorySlave {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn tick(&mut self, port: &mut SlaveStack, now: u64) {
-        // Complete at most one access whose latency has elapsed.
+impl ClockedWith<SlaveStack> for MemorySlave {
+    /// Retire at most one access whose latency elapsed in a *previous*
+    /// cycle's work. Running this before [`emit`](ClockedWith::emit) keeps
+    /// the seed's retire-then-accept order: a zero-latency access still
+    /// answers on the next tick, never the one that accepted it.
+    fn absorb(&mut self, port: &mut SlaveStack, now: u64) {
         if self
             .inflight
             .front()
@@ -114,12 +113,21 @@ impl SlaveIp for MemorySlave {
             let (_, resp) = self.inflight.pop_front().expect("front checked");
             port.respond(resp);
         }
-        // Accept at most one new request per port cycle.
+    }
+
+    /// Accept at most one new request per port cycle.
+    fn emit(&mut self, port: &mut SlaveStack, now: u64) {
         if let Some(t) = port.take_request() {
             if let Some(resp) = self.execute(&t) {
                 self.inflight.push_back((now + self.latency, resp));
             }
         }
+    }
+}
+
+impl SlaveIp for MemorySlave {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -1,9 +1,7 @@
 //! Latency bookkeeping for workload IPs.
 
-use serde::{Deserialize, Serialize};
-
 /// A summary of a set of latency samples, in network cycles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencySummary {
     /// Number of samples.
     pub count: usize,

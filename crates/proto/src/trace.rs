@@ -3,15 +3,14 @@
 //! application workloads (the paper's video-processing use cases ship as
 //! traces in practice).
 
-use crate::ip::MasterIp;
+use crate::ip::{ClockedWith, MasterIp};
 use crate::stats::LatencySummary;
 use aethereal_ni::shell::MasterStack;
 use aethereal_ni::transaction::Transaction;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One trace entry: issue the transaction no earlier than `at_cycle`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Earliest issue cycle (base clock).
     pub at_cycle: u64,
@@ -20,7 +19,7 @@ pub struct TraceEntry {
 }
 
 /// A replayable transaction trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
 }
@@ -115,18 +114,19 @@ impl TraceMaster {
     }
 }
 
-impl MasterIp for TraceMaster {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn tick(&mut self, port: &mut MasterStack, now: u64) {
+impl ClockedWith<MasterStack> for TraceMaster {
+    /// Collect responses delivered by the port.
+    fn absorb(&mut self, port: &mut MasterStack, now: u64) {
         while let Some(r) = port.take_response() {
             if let Some(start) = self.inflight.remove(&r.trans_id) {
                 self.latencies.push(now - start);
                 self.completed += 1;
             }
         }
+    }
+
+    /// Replay the next trace entry once its time has come.
+    fn emit(&mut self, port: &mut MasterStack, now: u64) {
         if let Some(entry) = self.trace.entries.get(self.next) {
             if now >= entry.at_cycle && port.can_submit() {
                 let t = entry.transaction.clone();
@@ -141,6 +141,12 @@ impl MasterIp for TraceMaster {
                 self.next += 1;
             }
         }
+    }
+}
+
+impl MasterIp for TraceMaster {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn done(&self) -> bool {

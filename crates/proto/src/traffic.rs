@@ -6,12 +6,11 @@
 //! benches use saturating generators to measure throughput and the latency
 //! and jitter of GT connections under BE background load.
 
-use crate::ip::MasterIp;
+use crate::ip::{ClockedWith, MasterIp};
 use crate::stats::LatencySummary;
 use aethereal_ni::shell::MasterStack;
 use aethereal_ni::transaction::{Cmd, Transaction};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use noc_sim::Rng64;
 use std::collections::HashMap;
 
 /// Command mix of a generator.
@@ -70,7 +69,7 @@ impl Default for TrafficGeneratorConfig {
 #[derive(Debug, Clone)]
 pub struct TrafficGenerator {
     cfg: TrafficGeneratorConfig,
-    rng: StdRng,
+    rng: Rng64,
     next_tid: u16,
     issued: u64,
     completed: u64,
@@ -84,7 +83,7 @@ pub struct TrafficGenerator {
 impl TrafficGenerator {
     /// Creates a generator.
     pub fn new(cfg: TrafficGeneratorConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Rng64::seed_from_u64(cfg.seed);
         TrafficGenerator {
             cfg,
             rng,
@@ -135,7 +134,7 @@ impl TrafficGenerator {
             TrafficMix::WriteOnly => Cmd::Write,
             TrafficMix::AckedWriteOnly => Cmd::AckedWrite,
             TrafficMix::Mixed { read_fraction } => {
-                if self.rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
+                if self.rng.chance(read_fraction) {
                     Cmd::Read
                 } else {
                     Cmd::AckedWrite
@@ -147,9 +146,11 @@ impl TrafficGenerator {
     fn build_transaction(&mut self, now: u64) -> Transaction {
         let cmd = self.pick_cmd();
         let (lo, hi) = self.cfg.burst;
-        let burst = self.rng.gen_range(lo..=hi.max(lo));
+        let burst = self
+            .rng
+            .range_inclusive(u64::from(lo), u64::from(hi.max(lo))) as u8;
         let max_base = self.cfg.addr_range.saturating_sub(u32::from(burst)).max(1);
-        let addr = self.cfg.addr_base + self.rng.gen_range(0..max_base);
+        let addr = self.cfg.addr_base + self.rng.below(u64::from(max_base)) as u32;
         let tid = self.next_tid;
         self.next_tid = (self.next_tid + 1) & aethereal_ni::message::MAX_TRANS_ID;
         let t = match cmd {
@@ -170,13 +171,9 @@ impl TrafficGenerator {
     }
 }
 
-impl MasterIp for TrafficGenerator {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn tick(&mut self, port: &mut MasterStack, now: u64) {
-        // Collect responses.
+impl ClockedWith<MasterStack> for TrafficGenerator {
+    /// Collect responses delivered by the port.
+    fn absorb(&mut self, port: &mut MasterStack, now: u64) {
         while let Some(r) = port.take_response() {
             if let Some(start) = self.inflight.remove(&r.trans_id) {
                 self.latencies.push(now - start);
@@ -187,7 +184,10 @@ impl MasterIp for TrafficGenerator {
                 }
             }
         }
-        // Issue.
+    }
+
+    /// Issue at most one new transaction.
+    fn emit(&mut self, port: &mut MasterStack, now: u64) {
         let quota_left = self.cfg.total.is_none_or(|t| self.issued < t);
         let paced = self
             .last_submit
@@ -207,6 +207,12 @@ impl MasterIp for TrafficGenerator {
             }
             self.last_submit = Some(now);
         }
+    }
+}
+
+impl MasterIp for TrafficGenerator {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn done(&self) -> bool {

@@ -1,0 +1,350 @@
+//! The workspace-wide simulation engine: one two-phase cycle contract and
+//! one generic driver for everything that ticks.
+//!
+//! # The contract
+//!
+//! The Æthereal NoC is only race-free because every cycle is split into two
+//! globally ordered phases (see [`crate::noc`]):
+//!
+//! 1. **emit** — every producer places at most one word on each outgoing
+//!    wire, using only state registered in previous cycles;
+//! 2. **absorb** — every consumer registers the word on its incoming wire.
+//!
+//! This discipline is what makes the GT slot-alignment arithmetic (slot `s`
+//! on hop `h` ⇒ slot `s + h` on hop `h + 1`) exact regardless of iteration
+//! order. The seed code re-implemented the split, the clock division and
+//! the run loops separately in `sim::Noc`, `aethereal_ni::NiKernel`,
+//! `aethereal_cfg::NocSystem` and the `aethereal_proto` IP traits; this
+//! module is the single definition they all now share.
+//!
+//! Two traits express the contract at the two levels that exist in the
+//! system:
+//!
+//! * [`Clocked`] — a **self-contained fabric** (a [`Noc`](crate::Noc), a
+//!   whole `NocSystem`) that owns its cycle counter. Its phases run in
+//!   *emit-then-absorb* order: emission must globally precede absorption so
+//!   wires stay race-free.
+//! * [`ClockedWith`] — an **endpoint ticked against a context** (an NI
+//!   kernel against its [`NiLink`](crate::NiLink), an IP model against its
+//!   port stack). Endpoints run *absorb-then-emit* within the fabric's emit
+//!   phase: they first drain what the previous cycle delivered, then stage
+//!   this cycle's word.
+//!
+//! [`ClockDomain`] centralizes integer clock division (each NI port "can
+//! have a different clock frequency", §4.1 of the paper), replacing the
+//! inline `cycle % div == 0` checks that were scattered across the crates.
+//!
+//! # The driver and the quiescent fast path
+//!
+//! [`Engine::run`] / [`Engine::run_until`] are the only run loops in the
+//! workspace. `run` has a slot-table-aware fast path: when a fabric reports
+//! itself [`quiescent`](Clocked::quiescent) — no words in flight, no
+//! sendable data, no pending credits — ticking it can change nothing except
+//! time-derived counters, so the driver batches the remaining whole
+//! [`SLOT_WORDS`] slots into one [`skip`](Clocked::skip) call. Implementors
+//! of `skip` account for per-slot effects arithmetically (e.g. the NI
+//! kernel adds one unused-slot event per reserved slot crossed, walking its
+//! slot table instead of the clock). `run_until` never skips: its predicate
+//! must observe every cycle boundary.
+
+use crate::word::SLOT_WORDS;
+
+/// Integer clock divider against the 500 MHz base network clock.
+///
+/// A domain with divisor `d` has a clock edge on every base cycle that is a
+/// multiple of `d`; components in the domain tick only on edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    div: u32,
+}
+
+impl ClockDomain {
+    /// The base (network) clock domain: an edge every cycle.
+    pub const BASE: ClockDomain = ClockDomain { div: 1 };
+
+    /// Creates a domain dividing the base clock by `div`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `div` is zero.
+    pub fn new(div: u32) -> Self {
+        assert!(div >= 1, "clock divisor must be ≥ 1");
+        ClockDomain { div }
+    }
+
+    /// The divisor.
+    #[inline]
+    pub fn div(self) -> u32 {
+        self.div
+    }
+
+    /// Whether this domain has a clock edge at base cycle `cycle`.
+    #[inline]
+    pub fn ticks_at(self, cycle: u64) -> bool {
+        cycle.is_multiple_of(u64::from(self.div))
+    }
+
+    /// The first edge at or after `cycle`.
+    #[inline]
+    pub fn next_edge(self, cycle: u64) -> u64 {
+        let d = u64::from(self.div);
+        cycle.div_ceil(d) * d
+    }
+
+    /// Number of edges in the half-open base-cycle window
+    /// `[start, start + len)`.
+    #[inline]
+    pub fn edges_in(self, start: u64, len: u64) -> u64 {
+        let d = u64::from(self.div);
+        // Edges in [0, n) is ceil(n / d).
+        (start + len).div_ceil(d) - start.div_ceil(d)
+    }
+
+    /// Completed local cycles after `cycle` base cycles.
+    #[inline]
+    pub fn local_now(self, cycle: u64) -> u64 {
+        cycle / u64::from(self.div)
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::BASE
+    }
+}
+
+/// A self-contained fabric advancing under the two-phase cycle contract.
+///
+/// Phase order is **emit then absorb**: all producers place words on wires
+/// from previous-cycle state, then all consumers register them. `absorb`
+/// completes the cycle and must advance [`now`](Clocked::now) by one.
+pub trait Clocked {
+    /// The current base cycle (number of completed cycles).
+    fn now(&self) -> u64;
+
+    /// Phase 1: place at most one word on every outgoing wire, based on
+    /// state from previous cycles.
+    fn emit(&mut self);
+
+    /// Phase 2: register arriving words, return credits, advance the cycle
+    /// counter.
+    fn absorb(&mut self);
+
+    /// Whether a tick can change nothing but time-derived counters: no
+    /// words in flight, no queued work, no pending credits, and no internal
+    /// source that could create any without external input.
+    ///
+    /// Returning `true` licenses [`Engine::run`] to replace ticks with one
+    /// [`skip`](Clocked::skip). The default is `false`: never skip.
+    fn quiescent(&self) -> bool {
+        false
+    }
+
+    /// Advances time-derived state by `cycles` cycles as if ticked while
+    /// [`quiescent`](Clocked::quiescent); must be overridden (together with
+    /// `quiescent`) to make the fast path effective. The default simply
+    /// ticks, which is always correct.
+    fn skip(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.emit();
+            self.absorb();
+        }
+    }
+}
+
+/// An endpoint ticked against an external context: an NI kernel against its
+/// router link, an IP model against its port stack.
+///
+/// Phase order is **absorb then emit**, the mirror of [`Clocked`]: within
+/// the fabric's emit phase an endpoint first drains what the previous
+/// cycle's absorb delivered to it, then stages this cycle's word.
+pub trait ClockedWith<Ctx: ?Sized> {
+    /// Drain phase: consume everything the previous cycle delivered.
+    fn absorb(&mut self, ctx: &mut Ctx, cycle: u64);
+
+    /// Produce phase: stage at most one word per output toward `ctx`.
+    fn emit(&mut self, ctx: &mut Ctx, cycle: u64);
+
+    /// One endpoint cycle: absorb, then emit.
+    fn tick(&mut self, ctx: &mut Ctx, cycle: u64) {
+        self.absorb(ctx, cycle);
+        self.emit(ctx, cycle);
+    }
+
+    /// Endpoint analogue of [`Clocked::quiescent`]; see there.
+    fn quiescent(&self) -> bool {
+        false
+    }
+
+    /// Endpoint analogue of [`Clocked::skip`]: advance time-derived state
+    /// across `[from_cycle, from_cycle + cycles)` without ticking. Only
+    /// called while [`quiescent`](ClockedWith::quiescent); implementors
+    /// overriding `quiescent` must override this accordingly.
+    fn skip(&mut self, from_cycle: u64, cycles: u64) {
+        let _ = (from_cycle, cycles);
+    }
+}
+
+/// The single generic cycle driver.
+///
+/// Every `run`/`run_until` loop in the workspace routes through these
+/// associated functions; no component carries its own driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Advances `fabric` by exactly one cycle: emit, then absorb.
+    #[inline]
+    pub fn tick<C: Clocked + ?Sized>(fabric: &mut C) {
+        fabric.emit();
+        fabric.absorb();
+    }
+
+    /// Runs `cycles` cycles.
+    ///
+    /// When the fabric reports itself quiescent and at least one whole slot
+    /// remains, the remaining cycles are batched into one
+    /// [`Clocked::skip`] — quiescence cannot end without external input, so
+    /// the skip is exact, not approximate.
+    pub fn run<C: Clocked + ?Sized>(fabric: &mut C, cycles: u64) {
+        let mut remaining = cycles;
+        while remaining > 0 {
+            if remaining >= SLOT_WORDS && fabric.quiescent() {
+                fabric.skip(remaining);
+                return;
+            }
+            Self::tick(fabric);
+            remaining -= 1;
+        }
+    }
+
+    /// Runs until `pred` holds or `max_cycles` elapse; returns whether the
+    /// predicate was met. The predicate is evaluated before every cycle
+    /// (and once more at the horizon), so no fast path applies.
+    pub fn run_until<C, P>(fabric: &mut C, mut pred: P, max_cycles: u64) -> bool
+    where
+        C: Clocked + ?Sized,
+        P: FnMut(&C) -> bool,
+    {
+        for _ in 0..max_cycles {
+            if pred(fabric) {
+                return true;
+            }
+            Self::tick(fabric);
+        }
+        pred(fabric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fabric that counts phase calls and can pretend to be quiescent.
+    struct Probe {
+        cycle: u64,
+        emits: u64,
+        absorbs: u64,
+        skipped: u64,
+        quiescent_after: u64,
+    }
+
+    impl Probe {
+        fn new(quiescent_after: u64) -> Self {
+            Probe {
+                cycle: 0,
+                emits: 0,
+                absorbs: 0,
+                skipped: 0,
+                quiescent_after,
+            }
+        }
+    }
+
+    impl Clocked for Probe {
+        fn now(&self) -> u64 {
+            self.cycle
+        }
+
+        fn emit(&mut self) {
+            assert_eq!(self.emits, self.absorbs, "emit must precede absorb");
+            self.emits += 1;
+        }
+
+        fn absorb(&mut self) {
+            assert_eq!(self.emits, self.absorbs + 1, "absorb follows emit");
+            self.absorbs += 1;
+            self.cycle += 1;
+        }
+
+        fn quiescent(&self) -> bool {
+            self.cycle >= self.quiescent_after
+        }
+
+        fn skip(&mut self, cycles: u64) {
+            self.skipped += cycles;
+            self.cycle += cycles;
+        }
+    }
+
+    #[test]
+    fn tick_orders_phases() {
+        let mut p = Probe::new(u64::MAX);
+        Engine::tick(&mut p);
+        assert_eq!((p.emits, p.absorbs, p.now()), (1, 1, 1));
+    }
+
+    #[test]
+    fn run_ticks_until_quiescent_then_skips() {
+        let mut p = Probe::new(5);
+        Engine::run(&mut p, 100);
+        assert_eq!(p.now(), 100);
+        assert_eq!(p.emits, 5, "ticked only while active");
+        assert_eq!(p.skipped, 95, "rest batched into one skip");
+    }
+
+    #[test]
+    fn run_never_skips_below_a_slot() {
+        let mut p = Probe::new(0);
+        Engine::run(&mut p, SLOT_WORDS - 1);
+        assert_eq!(p.skipped, 0);
+        assert_eq!(p.emits, SLOT_WORDS - 1);
+    }
+
+    #[test]
+    fn until_pred_stops_exactly_and_never_skips() {
+        let mut p = Probe::new(0); // quiescent from the start
+        let met = Engine::run_until(&mut p, |f| f.now() >= 7, 100);
+        assert!(met);
+        assert_eq!(p.now(), 7, "stops on the exact cycle");
+        assert_eq!(p.skipped, 0, "run_until must observe every cycle");
+    }
+
+    #[test]
+    fn until_pred_times_out() {
+        let mut p = Probe::new(u64::MAX);
+        let met = Engine::run_until(&mut p, |_| false, 9);
+        assert!(!met);
+        assert_eq!(p.now(), 9);
+    }
+
+    #[test]
+    fn clock_domain_edges() {
+        let d = ClockDomain::new(3);
+        assert!(d.ticks_at(0) && d.ticks_at(3) && !d.ticks_at(4));
+        assert_eq!(d.next_edge(0), 0);
+        assert_eq!(d.next_edge(1), 3);
+        assert_eq!(d.next_edge(3), 3);
+        assert_eq!(d.edges_in(0, 9), 3);
+        assert_eq!(d.edges_in(1, 3), 1); // only cycle 3
+        assert_eq!(d.edges_in(4, 2), 0);
+        assert_eq!(d.local_now(8), 2);
+        assert_eq!(ClockDomain::BASE.edges_in(17, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor")]
+    fn zero_divisor_panics() {
+        let _ = ClockDomain::new(0);
+    }
+}

@@ -26,7 +26,6 @@
 
 use crate::path::{Path, PATH_BITS};
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
 
 /// Bits for piggybacked credits.
 pub const CREDIT_BITS: u32 = 5;
@@ -58,7 +57,7 @@ const QID_SHIFT: u32 = PATH_BITS;
 /// };
 /// assert_eq!(PacketHeader::unpack(h.pack()), h);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PacketHeader {
     /// Remaining source route.
     pub path: Path,

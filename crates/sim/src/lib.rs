@@ -56,19 +56,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod header;
 pub mod link;
 pub mod noc;
 pub mod path;
+pub mod ring;
+pub mod rng;
 pub mod router;
 pub mod stats;
 pub mod topology;
 pub mod word;
 
+pub use engine::{ClockDomain, Clocked, ClockedWith, Engine};
 pub use header::PacketHeader;
 pub use link::{LinkId, LinkState};
 pub use noc::{NiLink, Noc, NocConfig};
 pub use path::{Path, PortIdx, MAX_HOPS};
+pub use ring::Ring;
+pub use rng::Rng64;
 pub use router::Router;
 pub use stats::{LinkStats, NocStats};
 pub use topology::{Endpoint, NiId, RouterId, Topology, TopologyKind};

@@ -10,13 +10,12 @@
 
 use crate::topology::Endpoint;
 use crate::word::LinkWord;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a directed link inside a [`Noc`](crate::Noc).
 pub type LinkId = usize;
 
 /// A directed link and the word currently on its wire.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkState {
     /// Producing endpoint.
     pub src: Endpoint,

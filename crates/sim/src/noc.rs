@@ -15,13 +15,14 @@
 //! iteration order, which in turn makes the GT slot alignment arithmetic
 //! (slot `s` on hop `h` ⇒ slot `s+h` on hop `h+1`) exact.
 
+use crate::engine::{Clocked, Engine};
 use crate::link::{LinkId, LinkState};
 use crate::path::PortIdx;
-use crate::router::{Router, DEFAULT_BE_QUEUE_WORDS};
+use crate::ring::Ring;
+use crate::router::{EmitResult, Router, DEFAULT_BE_QUEUE_WORDS};
 use crate::stats::NocStats;
 use crate::topology::{Endpoint, NiId, Topology};
 use crate::word::{LinkWord, WordClass, SLOT_WORDS};
-use std::collections::VecDeque;
 
 /// Construction parameters for a [`Noc`].
 #[derive(Debug, Clone, Copy)]
@@ -48,18 +49,16 @@ impl Default for NocConfig {
 #[derive(Debug, Clone)]
 pub struct NiLink {
     outgoing: Option<LinkWord>,
-    incoming: VecDeque<LinkWord>,
+    incoming: Ring<LinkWord>,
     credits: u32,
-    inbox_cap: usize,
 }
 
 impl NiLink {
     fn new(initial_credits: u32, inbox_cap: usize) -> Self {
         NiLink {
             outgoing: None,
-            incoming: VecDeque::new(),
+            incoming: Ring::with_capacity(inbox_cap),
             credits: initial_credits,
-            inbox_cap,
         }
     }
 
@@ -125,6 +124,17 @@ pub struct Noc {
     ni_links: Vec<NiLink>,
     cycle: u64,
     stats: NocStats,
+    /// Reusable per-tick scratch (cleared every cycle): keeps the
+    /// steady-state tick free of allocations.
+    scratch: TickScratch,
+}
+
+/// Reusable buffers for one tick.
+#[derive(Debug, Clone, Default)]
+struct TickScratch {
+    emit: EmitResult,
+    /// `(router, input)` pairs owed one link-level BE credit this cycle.
+    credit_returns: Vec<(usize, PortIdx)>,
 }
 
 impl Noc {
@@ -207,6 +217,7 @@ impl Noc {
             ni_links,
             cycle: 0,
             stats: NocStats::new(n_links),
+            scratch: TickScratch::default(),
         }
     }
 
@@ -270,23 +281,43 @@ impl Noc {
         self.routers.iter().map(Router::be_overflows).sum()
     }
 
-    /// Advances the network by one cycle.
+    /// Advances the network by one cycle (emit, then absorb — a thin
+    /// wrapper over [`Engine::tick`]).
     pub fn tick(&mut self) {
+        Engine::tick(self);
+    }
+
+    /// Runs `n` cycles through [`Engine::run`] (with its quiescent fast
+    /// path).
+    pub fn run(&mut self, n: u64) {
+        Engine::run(self, n);
+    }
+}
+
+impl Clocked for Noc {
+    fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Phase 1: every router output and every NI staging register places at
+    /// most one word on its outgoing wire, based on previous-cycle state.
+    fn emit(&mut self) {
         let cycle = self.cycle;
-        // ---- Phase 1: emit ------------------------------------------------
+        debug_assert!(self.scratch.credit_returns.is_empty());
         // Routers.
-        let mut credit_returns: Vec<(usize, PortIdx)> = Vec::new(); // (router, input)
         for r in 0..self.routers.len() {
-            let result = self.routers[r].emit(cycle);
-            for e in result.emissions {
+            let mut result = std::mem::take(&mut self.scratch.emit);
+            self.routers[r].emit_into(cycle, &mut result);
+            for e in &result.emissions {
                 if let Some(l) = self.out_link[r][e.port as usize] {
                     debug_assert!(self.links[l].wire.is_none());
                     self.links[l].wire = Some(e.word);
                 }
             }
-            for input in result.be_dequeues {
-                credit_returns.push((r, input));
+            for &input in &result.be_dequeues {
+                self.scratch.credit_returns.push((r, input));
             }
+            self.scratch.emit = result;
         }
         // NIs.
         for (ni, handle) in self.ni_links.iter_mut().enumerate() {
@@ -296,7 +327,13 @@ impl Noc {
                 self.links[l].wire = Some(word);
             }
         }
-        // ---- Phase 2: absorb ----------------------------------------------
+    }
+
+    /// Phase 2: every router input and NI inbox registers the word on its
+    /// incoming wire; BE dequeues from phase 1 return link-level credits to
+    /// the upstream producers.
+    fn absorb(&mut self) {
+        let cycle = self.cycle;
         for l in 0..self.links.len() {
             let Some(word) = self.links[l].wire.take() else {
                 continue;
@@ -308,8 +345,7 @@ impl Noc {
                 }
                 Endpoint::Ni { ni } => {
                     let handle = &mut self.ni_links[ni];
-                    if handle.incoming.len() < handle.inbox_cap {
-                        handle.incoming.push_back(word);
+                    if handle.incoming.push_back(word).is_ok() {
                         self.stats.delivered[word.class().index()] += 1;
                     } else {
                         // NI failed to drain: account as BE overflow; the
@@ -319,8 +355,8 @@ impl Noc {
                 }
             }
         }
-        // ---- Phase 3: return link-level credits ---------------------------
-        for (r, input) in credit_returns {
+        // Return link-level credits earned by this cycle's BE dequeues.
+        for (r, input) in self.scratch.credit_returns.drain(..) {
             match self.in_src[r][input as usize] {
                 Some(Endpoint::Router { router, port }) => {
                     self.routers[router].add_out_credit(port);
@@ -332,16 +368,26 @@ impl Noc {
             }
         }
         self.stats.gt_conflicts = self.gt_conflicts();
-        self.stats.be_overflows += 0; // kept current via routers on query
         self.cycle += 1;
         self.stats.cycles = self.cycle;
     }
 
-    /// Runs `n` cycles.
-    pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
-        }
+    /// The network is quiescent when nothing is in flight anywhere: all
+    /// wires idle, all routers drained, no staged NI word and no undrained
+    /// NI inbox. A tick then changes only the cycle counter.
+    fn quiescent(&self) -> bool {
+        self.routers.iter().all(Router::idle)
+            && self.links.iter().all(|l| l.wire.is_none())
+            && self
+                .ni_links
+                .iter()
+                .all(|h| h.outgoing.is_none() && h.incoming.is_empty())
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.cycle += cycles;
+        self.stats.cycles = self.cycle;
+        self.stats.gt_conflicts = self.gt_conflicts();
     }
 }
 

@@ -11,8 +11,6 @@
 //! router always finds its own output port in the low bits (path-shifting
 //! source routing, as in the Æthereal RTL).
 
-use serde::{Deserialize, Serialize};
-
 /// A router output-port index (0..[`MAX_PORT`]).
 ///
 /// For mesh topologies ports 0–3 are North/East/South/West and ports ≥ 4 are
@@ -51,7 +49,7 @@ pub const PATH_BITS: u32 = HOP_BITS * MAX_HOPS as u32;
 /// let bits = p.encode();
 /// assert_eq!(Path::decode(bits), p);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Path {
     hops: Vec<PortIdx>,
 }

@@ -18,8 +18,8 @@
 //! the previous cycle) and [`Router::absorb`] (register arriving words).
 
 use crate::path::{Path, PortIdx};
+use crate::ring::Ring;
 use crate::word::{LinkWord, WordClass, SLOT_WORDS};
-use std::collections::VecDeque;
 
 /// Default BE input-queue depth in words (the paper argues for *small*
 /// packet buffers as the TDM scheme's cost advantage; 8 words = 2–3 flits).
@@ -38,15 +38,17 @@ pub struct Router {
     id: usize,
     n_ports: usize,
     be_capacity: usize,
-    /// Per input: BE queue.
-    be_q: Vec<VecDeque<LinkWord>>,
+    /// Per input: BE queue (fixed-capacity ring; the credit budget granted
+    /// upstream equals its capacity, so it can never overflow).
+    be_q: Vec<Ring<LinkWord>>,
     /// Per input: output claimed by the BE worm whose header has been
     /// forwarded but whose tail has not.
     be_route: Vec<Option<PortIdx>>,
     /// Per input: output of the in-flight GT worm.
     gt_route: Vec<Option<PortIdx>>,
-    /// Per output: future GT emissions, ordered by due cycle.
-    gt_cal: Vec<VecDeque<GtEvent>>,
+    /// Per output: future GT emissions, ordered by due cycle. Bounded by
+    /// one absorb per input per cycle over one slot of lifetime.
+    gt_cal: Vec<Ring<GtEvent>>,
     /// Per output: input owning the output for a BE worm.
     be_owner: Vec<Option<usize>>,
     /// Per output: round-robin pointer.
@@ -69,12 +71,23 @@ pub struct Emission {
 
 /// Result of [`Router::emit`]: emissions plus the inputs that dequeued a BE
 /// word this cycle (whose upstream producers earn one credit each).
+///
+/// The buffers are reusable: [`Router::emit_into`] clears and refills a
+/// caller-owned instance, so the steady-state tick allocates nothing.
 #[derive(Debug, Clone, Default)]
 pub struct EmitResult {
     /// Words placed on output wires.
     pub emissions: Vec<Emission>,
     /// Input ports that freed one BE queue slot.
     pub be_dequeues: Vec<PortIdx>,
+}
+
+impl EmitResult {
+    /// Empties both buffers, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.emissions.clear();
+        self.be_dequeues.clear();
+    }
 }
 
 impl Router {
@@ -91,10 +104,14 @@ impl Router {
             id,
             n_ports,
             be_capacity,
-            be_q: vec![VecDeque::new(); n_ports],
+            be_q: (0..n_ports)
+                .map(|_| Ring::with_capacity(be_capacity))
+                .collect(),
             be_route: vec![None; n_ports],
             gt_route: vec![None; n_ports],
-            gt_cal: vec![VecDeque::new(); n_ports],
+            gt_cal: (0..n_ports)
+                .map(|_| Ring::with_capacity(n_ports * (SLOT_WORDS as usize + 1)))
+                .collect(),
             be_owner: vec![None; n_ports],
             rr: vec![0; n_ports],
             out_credits: vec![0; n_ports], // Noc sets real initial credits per link
@@ -159,6 +176,12 @@ impl Router {
         self.gt_orphans
     }
 
+    /// Whether the router holds no queued BE words and no scheduled GT
+    /// emissions — a tick of an idle router moves nothing.
+    pub fn idle(&self) -> bool {
+        self.be_q.iter().all(Ring::is_empty) && self.gt_cal.iter().all(Ring::is_empty)
+    }
+
     /// Phase 1: produce at most one word per output for `cycle`.
     ///
     /// GT emissions due this cycle take absolute priority; otherwise a BE
@@ -166,6 +189,14 @@ impl Router {
     /// arbitration picks a new BE worm whose header routes to the output.
     pub fn emit(&mut self, cycle: u64) -> EmitResult {
         let mut result = EmitResult::default();
+        self.emit_into(cycle, &mut result);
+        result
+    }
+
+    /// Phase 1 without allocation: clears `result` and fills it (see
+    /// [`Router::emit`] for the arbitration rules).
+    pub fn emit_into(&mut self, cycle: u64, result: &mut EmitResult) {
+        result.clear();
         for out in 0..self.n_ports {
             // 1. GT words due now win the output unconditionally.
             if let Some(ev) = self.gt_cal[out].front() {
@@ -253,7 +284,6 @@ impl Router {
                 break;
             }
         }
-        result
     }
 
     /// Phase 2: register the word arriving on input `port` at `cycle`.
@@ -285,14 +315,13 @@ impl Router {
                 let due = cycle + SLOT_WORDS;
                 let cal = &mut self.gt_cal[out as usize];
                 debug_assert!(cal.back().is_none_or(|e| e.due <= due));
-                cal.push_back(GtEvent { due, word: fwd });
+                cal.push_back(GtEvent { due, word: fwd })
+                    .expect("GT calendar bounded by ports x slot lifetime");
             }
             WordClass::BestEffort => {
-                if self.be_q[input].len() >= self.be_capacity {
+                if self.be_q[input].push_back(word).is_err() {
                     self.be_overflows += 1;
-                    return;
                 }
-                self.be_q[input].push_back(word);
             }
         }
     }

@@ -6,10 +6,9 @@
 //! contention-freedom invariant (E4).
 
 use crate::word::WordClass;
-use serde::{Deserialize, Serialize};
 
 /// Per-directed-link counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Words of each class transported (`[GT, BE]`).
     pub words: [u64; 2],
@@ -42,7 +41,7 @@ impl LinkStats {
 }
 
 /// NoC-wide counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NocStats {
     /// Elapsed cycles.
     pub cycles: u64,

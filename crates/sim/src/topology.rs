@@ -9,7 +9,6 @@
 //! produce deadlock-free source routes for the BE class.
 
 use crate::path::{Path, PathError, PortIdx};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Identifies a router in the topology.
@@ -33,7 +32,7 @@ pub mod dir {
 }
 
 /// One directed connection in the topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// A router port.
     Router {
@@ -50,7 +49,7 @@ pub enum Endpoint {
 }
 
 /// The flavour of a topology, kept for diagnostics and spec round-trips.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyKind {
     /// `width × height` mesh.
     Mesh {
@@ -69,7 +68,7 @@ pub enum TopologyKind {
 }
 
 /// A bidirectional inter-router edge: `a.port_a ↔ b.port_b`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouterEdge {
     /// First router.
     pub a: RouterId,
@@ -93,7 +92,7 @@ pub struct RouterEdge {
 /// let path = t.route(0, 3).unwrap();
 /// assert_eq!(path.hops(), 3); // E, S, eject
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     kind: TopologyKind,
     router_ports: Vec<usize>,

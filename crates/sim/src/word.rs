@@ -6,8 +6,6 @@
 //! bits on the physical link — a class bit (GT/BE) and framing bits — which
 //! we model explicitly in [`LinkWord`].
 
-use serde::{Deserialize, Serialize};
-
 /// A 32-bit data word, the transport unit of the Æthereal link.
 pub type Word = u32;
 
@@ -22,7 +20,7 @@ pub const SLOT_WORDS: u64 = FLIT_WORDS;
 /// GT words ride contention-free TDM circuits; BE words are wormhole-routed
 /// and yield to GT. The class is carried out-of-band on the link so that the
 /// receiver can demultiplex interleaved GT and BE worms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WordClass {
     /// Guaranteed-throughput (time-division-multiplexed circuit) traffic.
     Guaranteed,
@@ -60,7 +58,7 @@ impl std::fmt::Display for WordClass {
 /// [`PacketHeader`](crate::PacketHeader)); `tail` marks the last word of a
 /// packet. A single-word packet (a credit-only packet, §4.1 of the paper)
 /// has both bits set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkWord {
     word: Word,
     class: WordClass,

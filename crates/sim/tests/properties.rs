@@ -1,8 +1,9 @@
 //! Property-based tests of the substrate's encodings and transport
 //! invariants.
 
+use aethereal_testkit::prelude::*;
+use noc_sim::engine::ClockDomain;
 use noc_sim::{LinkWord, Noc, PacketHeader, Path, Topology, WordClass};
-use proptest::prelude::*;
 
 fn arb_path() -> impl Strategy<Value = Path> {
     prop::collection::vec(0u8..=5, 0..=7).prop_map(|hops| Path::new(&hops).expect("valid hops"))
@@ -192,5 +193,54 @@ proptest! {
         }
         prop_assert_eq!(a, rounds);
         prop_assert_eq!(b, rounds);
+    }
+}
+
+proptest! {
+    /// `edges_in` agrees with a brute-force count of `ticks_at` edges.
+    #[test]
+    fn clock_domain_edges_match_brute_force(
+        div in 1u32..=17,
+        start in 0u64..1000,
+        len in 0u64..200,
+    ) {
+        let d = ClockDomain::new(div);
+        let brute = (start..start + len).filter(|&c| d.ticks_at(c)).count() as u64;
+        prop_assert_eq!(d.edges_in(start, len), brute);
+    }
+
+    /// Edge counting is additive over adjacent windows.
+    #[test]
+    fn clock_domain_edges_are_additive(
+        div in 1u32..=17,
+        start in 0u64..1000,
+        a in 0u64..200,
+        b in 0u64..200,
+    ) {
+        let d = ClockDomain::new(div);
+        prop_assert_eq!(
+            d.edges_in(start, a + b),
+            d.edges_in(start, a) + d.edges_in(start + a, b)
+        );
+    }
+
+    /// `next_edge` returns the first edge at or after the query cycle.
+    #[test]
+    fn clock_domain_next_edge_is_tight(div in 1u32..=17, cycle in 0u64..2000) {
+        let d = ClockDomain::new(div);
+        let e = d.next_edge(cycle);
+        prop_assert!(e >= cycle);
+        prop_assert!(d.ticks_at(e));
+        prop_assert_eq!(d.edges_in(cycle, e - cycle), 0, "no edge before it");
+    }
+
+    /// Local time advances exactly on edges: after `n` base cycles the
+    /// domain has seen `edges_in(0, n)` edges, which equals `local_now`
+    /// rounded the same way the divider hardware does.
+    #[test]
+    fn clock_domain_local_time_consistent(div in 1u32..=17, n in 0u64..5000) {
+        let d = ClockDomain::new(div);
+        prop_assert_eq!(d.edges_in(0, n), n.div_ceil(u64::from(div)));
+        prop_assert_eq!(d.local_now(n), n / u64::from(div));
     }
 }

@@ -2,9 +2,7 @@
 //! classes — checking losslessness, ordering, class isolation and the
 //! contention invariants under sustained load.
 
-use noc_sim::{LinkWord, Noc, PacketHeader, Path, Topology, WordClass, SLOT_WORDS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use noc_sim::{LinkWord, Noc, PacketHeader, Path, Rng64, Topology, WordClass, SLOT_WORDS};
 
 /// A BE packet as link words.
 fn be_packet(path: Path, qid: u8, payload: &[u32]) -> Vec<LinkWord> {
@@ -108,19 +106,19 @@ fn all_to_one_be_hotspot_is_lossless() {
 fn random_be_pairs_on_mesh_never_violate_invariants() {
     let topo = Topology::mesh(3, 3, 1);
     let mut noc = Noc::new(&topo);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng64::seed_from_u64(42);
     let n = topo.ni_count();
     // Precompute random single-packet sends with random timing.
     let mut pending: Vec<(usize, Vec<LinkWord>, usize)> = Vec::new(); // (src, words, idx)
     let mut expected_words = 0usize;
     for _ in 0..60 {
-        let src = rng.gen_range(0..n);
-        let mut dst = rng.gen_range(0..n);
+        let src = rng.below_usize(n);
+        let mut dst = rng.below_usize(n);
         while dst == src {
-            dst = rng.gen_range(0..n);
+            dst = rng.below_usize(n);
         }
-        let len = rng.gen_range(0..6);
-        let payload: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+        let len = rng.below_usize(6);
+        let payload: Vec<u32> = (0..len).map(|_| rng.next_u64() as u32).collect();
         let words = be_packet(topo.route(src, dst).expect("route"), 0, &payload);
         expected_words += words.len();
         pending.push((src, words, 0));
@@ -240,8 +238,8 @@ fn ring_bidirectional_traffic() {
             &[src as u32],
         ));
     }
-    let mut sent = vec![0usize; 6];
-    let mut got = vec![0usize; 6];
+    let mut sent = [0usize; 6];
+    let mut got = [0usize; 6];
     for _ in 0..2_000 {
         for src in 0..6 {
             if sent[src] < streams[src].len() {
@@ -253,9 +251,9 @@ fn ring_bidirectional_traffic() {
             }
         }
         noc.tick();
-        for ni in 0..6 {
+        for (ni, g) in got.iter_mut().enumerate() {
             while noc.ni_link_mut(ni).recv().is_some() {
-                got[ni] += 1;
+                *g += 1;
             }
         }
     }

@@ -1,0 +1,512 @@
+//! # aethereal-testkit — in-tree property-testing harness
+//!
+//! The build container has no crates registry, so the workspace carries a
+//! small deterministic stand-in for the subset of `proptest` its test
+//! suites use: the [`Strategy`] trait with ranges, tuples, [`Just`],
+//! [`any`] and [`prop::collection::vec`]; the [`proptest!`] test macro; and
+//! the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics are simpler than real proptest — uniform random generation
+//! with a fixed per-test seed, no shrinking — which keeps failures
+//! reproducible (the failing case index and seed are printed) without any
+//! dependency. Case count defaults to 96 and can be raised with the
+//! `TESTKIT_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use noc_sim::Rng64;
+
+/// Error type carried by a property body: a failed assertion or a rejected
+/// (assumed-away) case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case does not satisfy a `prop_assume!` precondition; the runner
+    /// draws a fresh case without counting this one.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator, the testkit analogue of `proptest::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng64) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng64) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among homogeneous strategies (see [`prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct OneOf<S>(Vec<S>);
+
+impl<S> OneOf<S> {
+    /// Creates the choice strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf(options)
+    }
+}
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng64) -> S::Value {
+        let i = rng.below_usize(self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                (u64::from(self.start)
+                    + rng.below(u64::from(self.end) - u64::from(self.start))) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                rng.range_inclusive(u64::from(*self.start()), u64::from(*self.end())) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32);
+
+macro_rules! impl_range_strategy_wide {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                (self.start as u64 + rng.below(self.end as u64 - self.start as u64)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                rng.range_inclusive(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_wide!(u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng64) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut Rng64) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng64) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng64) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut Rng64) -> Option<T> {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng64) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` (testkit analogue of
+/// `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Range, RangeInclusive, Rng64, Strategy};
+
+    /// An inclusive length range for [`vec`], converted proptest-style from
+    /// plain ranges (half-open ranges become `[start, end)`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    macro_rules! impl_size_range_from {
+        ($($t:ty),*) => {$(
+            impl From<Range<$t>> for SizeRange {
+                fn from(r: Range<$t>) -> SizeRange {
+                    assert!(r.start < r.end, "empty length range");
+                    SizeRange { lo: r.start as usize, hi: (r.end - 1) as usize }
+                }
+            }
+
+            impl From<RangeInclusive<$t>> for SizeRange {
+                fn from(r: RangeInclusive<$t>) -> SizeRange {
+                    assert!(r.start() <= r.end(), "empty length range");
+                    SizeRange { lo: *r.start() as usize, hi: *r.end() as usize }
+                }
+            }
+        )*};
+    }
+
+    impl_size_range_from!(i32, usize);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// Generates vectors of values from `elem` with lengths drawn from
+    /// `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng64) -> Vec<S::Value> {
+            let n = rng.range_inclusive(self.len.lo as u64, self.len.hi as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest`-style namespace (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Number of cases per property (default 96, `TESTKIT_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("TESTKIT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Base seed (derived per test from the test name; `TESTKIT_SEED`
+/// overrides).
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("TESTKIT_SEED") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    // FNV-1a over the test name: stable, spread-out per-test seeds.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0u32..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::case_count();
+            let seed = $crate::base_seed(stringify!($name));
+            let mut rng = $crate::Rng64::seed_from_u64(seed);
+            let mut accepted = 0u64;
+            let mut rejects = 0u64;
+            let mut draws = 0u64;
+            while accepted < cases {
+                draws += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let result: $crate::TestCaseResult = (move || {
+                    $body
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < 10 * cases + 1000,
+                            "property `{}` rejected too many cases ({rejects})",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at draw {draws} (seed {seed}): {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies of one type: `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($strat),+])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!(),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "{} ({}:{})", format!($($fmt)+), file!(), line!(),
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {a:?} != {b:?} ({}:{})",
+                stringify!($a), stringify!($b), file!(), line!(),
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}: {a:?} != {b:?} ({}:{})",
+                format!($($fmt)+), file!(), line!(),
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`: both {a:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+            )));
+        }
+    }};
+}
+
+/// Skips cases that fail a precondition (drawn again without counting).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// One-import prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0usize..=4, z in 1u8..=1) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert_eq!(z, 1);
+        }
+
+        #[test]
+        fn vec_lengths_respect_strategy(v in prop::collection::vec(any::<u32>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(9u8)]) {
+            prop_assert!(v == 1 || v == 9);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u8..4, any::<bool>()).prop_map(|(a, b)| (u32::from(a), b))) {
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = Rng64::seed_from_u64(base_seed("x"));
+        let mut b = Rng64::seed_from_u64(base_seed("x"));
+        let s = (0u32..100, any::<bool>());
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    use crate::{any, base_seed, Rng64, Strategy};
+}
