@@ -5,7 +5,8 @@
 
 use aethereal_bench::harness::{black_box, Criterion};
 use aethereal_bench::{criterion_group, criterion_main};
-use aethereal_bench::{master_slave_system, stream_system, StreamSetup};
+use aethereal_bench::{master_slave_system, sharded_stream_mesh, stream_mesh, stream_system};
+use aethereal_bench::{MeshTraffic, StreamSetup};
 use aethereal_cfg::{SlotAllocator, SlotStrategy};
 use aethereal_ni::fifo::HwFifo;
 use aethereal_proto::StreamSource;
@@ -127,6 +128,67 @@ fn bench_full_system(c: &mut Criterion) {
     });
 }
 
+fn bench_sharding(c: &mut Criterion) {
+    // Busy 8x8 mesh, 64 endless column streams all crossing the row cut:
+    // the sequential reference, the 2-shard lockstep runner on one thread
+    // (pure sharding overhead), and the 2-shard worker-thread runner
+    // (scaling — bounded by the host's core count).
+    c.bench_function("mesh8x8_uniform_seq_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        b.iter(|| sys.run(1_000));
+    });
+    c.bench_function("mesh8x8_uniform_shard2_1k", |b| {
+        let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
+        b.iter(|| sharded.run(1_000));
+    });
+    c.bench_function("mesh8x8_uniform_shard2_par_1k", |b| {
+        let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
+        b.iter(|| sharded.run_parallel(1_000));
+    });
+    // The activity-set scheduler: a fully idle 8x8 (the global fast path),
+    // the same mesh with traffic confined to the top band while three
+    // regions sleep, and — as the busy band's stand-alone cost reference —
+    // an 8x2 mesh carrying exactly that band's streams.
+    c.bench_function("mesh8x8_idle_shard4_1k", |b| {
+        let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Idle, 4);
+        b.iter(|| sharded.run(1_000));
+    });
+    c.bench_function("mesh8x8_busyband_shard4_1k", |b| {
+        let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::BusyBand, 4);
+        b.iter(|| sharded.run(1_000));
+    });
+    c.bench_function("mesh8x8_busyband_seq_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::BusyBand);
+        b.iter(|| sys.run(1_000));
+    });
+    c.bench_function("mesh8x2_band_alone_seq_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 2, MeshTraffic::BusyBand);
+        b.iter(|| sys.run(1_000));
+    });
+}
+
+/// Derived scaling metrics over the sharding benches (recorded into the
+/// `BENCH_JSON` history, e.g. `BENCH_pr3.json`).
+fn derive_scaling(c: &mut Criterion) {
+    let ratio = |c: &Criterion, a: &str, b: &str| -> Option<f64> {
+        Some(c.median_of(a)? / c.median_of(b)?)
+    };
+    if let Some(r) = ratio(c, "mesh8x8_uniform_seq_1k", "mesh8x8_uniform_shard2_1k") {
+        c.derived("scaling_8x8_shard2_seq_speedup", r);
+    }
+    if let Some(r) = ratio(c, "mesh8x8_uniform_seq_1k", "mesh8x8_uniform_shard2_par_1k") {
+        c.derived("scaling_8x8_shard2_parallel_speedup", r);
+    }
+    if let Some(r) = ratio(c, "mesh8x8_busyband_seq_1k", "mesh8x8_busyband_shard4_1k") {
+        c.derived("idle_region_skip_speedup_8x8_busyband", r);
+    }
+    if let Some(r) = ratio(c, "mesh8x8_busyband_shard4_1k", "mesh8x2_band_alone_seq_1k") {
+        // How close the mixed idle/busy run gets to paying only for its
+        // busy band (1.0 = the three idle regions are free).
+        c.derived("mixed_vs_busy_band_alone_ratio", r);
+    }
+}
+
 criterion_group!(
     benches,
     bench_fifo,
@@ -135,6 +197,8 @@ criterion_group!(
     bench_router_datapath,
     bench_engine_fast_path,
     bench_slot_allocator,
-    bench_full_system
+    bench_full_system,
+    bench_sharding,
+    derive_scaling
 );
 criterion_main!(benches);

@@ -16,11 +16,29 @@
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Number of timed samples per benchmark.
+/// Number of timed samples per benchmark (override: `BENCH_SAMPLES`, e.g.
+/// for a fast CI smoke run).
 const SAMPLES: usize = 15;
 
-/// Minimum duration a sample window must reach while calibrating.
+/// Minimum duration a sample window must reach while calibrating
+/// (override: `BENCH_MIN_SAMPLE_MS`).
 const MIN_SAMPLE: Duration = Duration::from_millis(20);
+
+fn samples() -> usize {
+    std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(SAMPLES)
+}
+
+fn min_sample() -> Duration {
+    std::env::var("BENCH_MIN_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(MIN_SAMPLE)
+}
 
 /// Per-iteration timing statistics of one benchmark, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +74,7 @@ impl Bencher {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: Vec<(String, Measurement)>,
+    derived: Vec<(String, f64)>,
 }
 
 impl Criterion {
@@ -66,6 +85,7 @@ impl Criterion {
 
     /// Benchmarks `f`, which must call [`Bencher::iter`] exactly once.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let min_sample = min_sample();
         // Calibrate: double iterations until the sample window is long
         // enough for the clock to be negligible.
         let mut iters = 1u64;
@@ -75,14 +95,14 @@ impl Criterion {
                 elapsed: Duration::ZERO,
             };
             f(&mut b);
-            if b.elapsed >= MIN_SAMPLE || iters >= 1 << 40 {
+            if b.elapsed >= min_sample || iters >= 1 << 40 {
                 break;
             }
             // Jump close to the target, at least doubling.
-            let factor = (MIN_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)).ceil();
+            let factor = (min_sample.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)).ceil();
             iters = (iters as f64 * factor.clamp(2.0, 100.0)) as u64;
         }
-        let mut per_iter: Vec<f64> = (0..SAMPLES)
+        let mut per_iter: Vec<f64> = (0..samples())
             .map(|_| {
                 let mut b = Bencher {
                     iters,
@@ -115,6 +135,23 @@ impl Criterion {
         &self.results
     }
 
+    /// The median of a recorded benchmark, if it ran.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m.median_ns)
+    }
+
+    /// Records a derived metric (a ratio or efficiency computed from other
+    /// measurements); printed and included in the `BENCH_JSON` output under
+    /// `"derived"`.
+    pub fn derived(&mut self, name: &str, value: f64) -> &mut Self {
+        println!("{name:<40} {value:>12.3}");
+        self.derived.push((name.to_string(), value));
+        self
+    }
+
     /// Writes results as JSON to the `BENCH_JSON` path, if set.
     pub fn finalize(&self) {
         let Ok(path) = std::env::var("BENCH_JSON") else {
@@ -130,6 +167,13 @@ impl Criterion {
                  \"min_ns\": {:.3}, \"iters_per_sample\": {}}}",
                 m.median_ns, m.mean_ns, m.min_ns, m.iters_per_sample
             ));
+        }
+        out.push_str("\n  ],\n  \"derived\": [\n");
+        for (i, (name, v)) in self.derived.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("    {{\"name\": \"{name}\", \"value\": {v:.4}}}"));
         }
         out.push_str("\n  ]\n}\n");
         if let Err(e) = std::fs::write(&path, out) {

@@ -12,7 +12,11 @@
 
 pub mod harness;
 pub mod scenarios;
+pub mod shard_scenarios;
 pub mod table;
 
 pub use scenarios::{master_slave_system, stream_system, StreamSetup};
+pub use shard_scenarios::{
+    sharded_received, sharded_stream_mesh, single_received, stream_mesh, CountingSink, MeshTraffic,
+};
 pub use table::Table;

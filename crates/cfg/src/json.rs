@@ -138,6 +138,16 @@ impl Value {
         }
     }
 
+    /// Fetches an optional object field: `None` when the key is absent or
+    /// the value is not an object — the back-compat lookup for fields added
+    /// after older spec files were written.
+    pub fn get_opt(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
     /// Interprets the value as an externally tagged enum: either a bare
     /// string (unit variant) or a single-key object (data variant).
     ///

@@ -29,12 +29,14 @@ pub mod json;
 pub mod presets;
 pub mod report;
 pub mod runtime;
+pub mod shard;
 pub mod slots;
 pub mod spec;
 pub mod system;
 
 pub use report::SystemReport;
 pub use runtime::{ConnectionHandle, ConnectionRequest, RuntimeConfigurator, Service};
+pub use shard::ShardedSystem;
 pub use slots::{SlotAllocation, SlotAllocator, SlotStrategy};
 pub use spec::{NocSpec, TopologySpec};
 pub use system::NocSystem;

@@ -13,6 +13,7 @@ use aethereal_ni::kernel::{ArbPolicy, NiKernelSpec, PortSpec};
 use aethereal_ni::message::Ordering;
 use aethereal_ni::ni::{NiSpec, PortStackSpec};
 use aethereal_ni::shell::{AddrRange, ConnSelect};
+use noc_sim::shard::{Partition, PartitionError};
 use noc_sim::{NocConfig, Topology};
 
 /// Topology description.
@@ -69,6 +70,10 @@ pub struct NocSpec {
     pub nis: Vec<NiSpec>,
     /// Router BE input-queue depth, words.
     pub be_queue_words: usize,
+    /// Optional execution partitioning: router → shard, cut at link
+    /// boundaries for sharded simulation (see
+    /// [`ShardedSystem`](crate::ShardedSystem)). `None` runs single-region.
+    pub partition: Option<Vec<usize>>,
 }
 
 /// Spec validation errors.
@@ -88,6 +93,11 @@ pub enum SpecError {
         /// Declared `ni_id`.
         declared: usize,
     },
+    /// The execution partition does not fit the topology (wrong length,
+    /// sparse shard ids, or an empty shard) — every cut must be an
+    /// inter-router link, which the router → shard map guarantees only
+    /// when it covers exactly the topology's routers.
+    Partition(PartitionError),
 }
 
 impl std::fmt::Display for SpecError {
@@ -102,6 +112,7 @@ impl std::fmt::Display for SpecError {
             SpecError::NiIdMismatch { index, declared } => {
                 write!(f, "NI at position {index} declares id {declared}")
             }
+            SpecError::Partition(e) => write!(f, "invalid partition: {e}"),
         }
     }
 }
@@ -109,16 +120,41 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 impl NocSpec {
-    /// Creates a spec with default router queues.
+    /// Creates a spec with default router queues and no partitioning.
     pub fn new(topology: TopologySpec, nis: Vec<NiSpec>) -> Self {
         NocSpec {
             topology,
             nis,
             be_queue_words: 8,
+            partition: None,
         }
     }
 
-    /// Validates internal consistency.
+    /// Sets the execution partition (router → shard map).
+    pub fn with_partition(mut self, partition: Vec<usize>) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// The validated execution partition, if one is specified.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError::Partition`].
+    pub fn build_partition(&self) -> Result<Option<Partition>, SpecError> {
+        let Some(map) = &self.partition else {
+            return Ok(None);
+        };
+        let p = Partition::new(map.clone()).map_err(SpecError::Partition)?;
+        p.validate(&self.topology.build())
+            .map_err(SpecError::Partition)?;
+        Ok(Some(p))
+    }
+
+    /// Validates internal consistency, including the partitioning pass:
+    /// the shard map must cover exactly the topology's routers with dense,
+    /// non-empty shards — which guarantees every cut edge is an
+    /// inter-router link (NIs follow their attachment router).
     ///
     /// # Errors
     ///
@@ -139,6 +175,7 @@ impl NocSpec {
                 });
             }
         }
+        self.build_partition()?;
         Ok(())
     }
 
@@ -179,6 +216,13 @@ impl NocSpec {
                 Value::Arr(self.nis.iter().map(ni_spec_to_value).collect()),
             ),
             ("be_queue_words", Value::Num(self.be_queue_words as u64)),
+            (
+                "partition",
+                match &self.partition {
+                    Some(map) => Value::Arr(map.iter().map(|&s| Value::Num(s as u64)).collect()),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -192,6 +236,16 @@ impl NocSpec {
                 .map(ni_spec_from_value)
                 .collect::<Result<_, _>>()?,
             be_queue_words: v.get("be_queue_words")?.as_usize()?,
+            // Absent in pre-sharding spec files: treat as unpartitioned.
+            partition: match v.get_opt("partition") {
+                None | Some(Value::Null) => None,
+                Some(arr) => Some(
+                    arr.as_arr()?
+                        .iter()
+                        .map(Value::as_usize)
+                        .collect::<Result<_, _>>()?,
+                ),
+            },
         })
     }
 }
@@ -507,6 +561,25 @@ mod tests {
     #[test]
     fn malformed_json_rejected() {
         assert!(NocSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn partition_roundtrips_and_old_files_parse() {
+        let spec = small_spec().with_partition(vec![0, 1]);
+        assert_eq!(spec.validate(), Ok(()));
+        let json = spec.to_json().expect("serializes");
+        assert!(json.contains("partition"));
+        let back = NocSpec::from_json(&json).expect("parses");
+        assert_eq!(back, spec);
+        assert!(back.build_partition().unwrap().is_some());
+        // A pre-sharding file (no partition field) still parses.
+        let old = small_spec()
+            .to_json()
+            .unwrap()
+            .replace(",\n  \"partition\": null", "");
+        assert!(!old.contains("partition"), "field stripped: {old}");
+        let parsed = NocSpec::from_json(&old).expect("old files parse");
+        assert_eq!(parsed.partition, None);
     }
 
     #[test]

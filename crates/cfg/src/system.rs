@@ -14,27 +14,28 @@ use aethereal_ni::Ni;
 use aethereal_proto::ip::RawPort;
 use aethereal_proto::{MasterIp, RawIp, SlaveIp};
 use noc_sim::engine::{ClockDomain, Clocked, ClockedWith, Engine};
+use noc_sim::shard::ShardRegion;
 use noc_sim::Noc;
 
-struct MasterBinding {
-    ni: usize,
-    port: usize,
-    clock: ClockDomain,
-    ip: Box<dyn MasterIp>,
+pub(crate) struct MasterBinding {
+    pub(crate) ni: usize,
+    pub(crate) port: usize,
+    pub(crate) clock: ClockDomain,
+    pub(crate) ip: Box<dyn MasterIp>,
 }
 
-struct SlaveBinding {
-    ni: usize,
-    port: usize,
-    clock: ClockDomain,
-    ip: Box<dyn SlaveIp>,
+pub(crate) struct SlaveBinding {
+    pub(crate) ni: usize,
+    pub(crate) port: usize,
+    pub(crate) clock: ClockDomain,
+    pub(crate) ip: Box<dyn SlaveIp>,
 }
 
-struct RawBinding {
-    ni: usize,
-    channels: Vec<ChannelId>,
-    clock: ClockDomain,
-    ip: Box<dyn RawIp>,
+pub(crate) struct RawBinding {
+    pub(crate) ni: usize,
+    pub(crate) channels: Vec<ChannelId>,
+    pub(crate) clock: ClockDomain,
+    pub(crate) ip: Box<dyn RawIp>,
 }
 
 /// A runnable NoC system.
@@ -43,9 +44,9 @@ pub struct NocSystem {
     pub noc: Noc,
     /// The NIs, indexed by NI id.
     pub nis: Vec<Ni>,
-    masters: Vec<MasterBinding>,
-    slaves: Vec<SlaveBinding>,
-    raws: Vec<RawBinding>,
+    pub(crate) masters: Vec<MasterBinding>,
+    pub(crate) slaves: Vec<SlaveBinding>,
+    pub(crate) raws: Vec<RawBinding>,
 }
 
 impl std::fmt::Debug for NocSystem {
@@ -188,6 +189,22 @@ impl NocSystem {
             .expect("raw IP type mismatch")
     }
 
+    /// Typed access to the first raw IP of type `T` bound at NI `ni` (an
+    /// NI may carry several raw IPs, e.g. a stream source and a sink) —
+    /// the handle-free lookup mirroring
+    /// [`ShardedSystem::raw_ip_as`](crate::ShardedSystem::raw_ip_as).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no raw IP of that type is bound there.
+    pub fn raw_ip_at<T: 'static>(&self, ni: usize) -> &T {
+        self.raws
+            .iter()
+            .filter(|b| b.ni == ni)
+            .find_map(|b| b.ip.as_any().downcast_ref::<T>())
+            .unwrap_or_else(|| panic!("no matching raw IP bound at NI {ni}"))
+    }
+
     /// Current network cycle.
     pub fn cycle(&self) -> u64 {
         self.noc.cycle()
@@ -257,13 +274,18 @@ impl Clocked for NocSystem {
         self.noc.absorb();
     }
 
-    /// The system is quiescent when every workload is done, every shell
-    /// stack and NI kernel is drained, and the network carries nothing —
-    /// then only time-derived counters (cycle, reserved-but-unused GT
-    /// slots) can change, which [`skip`](Clocked::skip) computes directly.
+    /// The system is quiescent when every IP is idle (done, or dormant
+    /// until a known future cycle — [`MasterIp::idle_until`] and friends),
+    /// every shell stack and NI kernel is drained, and the network carries
+    /// nothing — then only time-derived counters (cycle,
+    /// reserved-but-unused GT slots) can change, which
+    /// [`skip`](Clocked::skip) computes directly, and nothing else can
+    /// happen before [`next_event`](Clocked::next_event).
     fn quiescent(&self) -> bool {
-        self.masters.iter().all(|b| b.ip.done())
-            && self.raws.iter().all(|b| b.ip.done())
+        let now = self.noc.cycle();
+        self.masters.iter().all(|b| b.ip.idle_until(now) > now)
+            && self.slaves.iter().all(|b| b.ip.idle_until(now) > now)
+            && self.raws.iter().all(|b| b.ip.idle_until(now) > now)
             && self.nis.iter().all(ClockedWith::quiescent)
             && self.noc.quiescent()
     }
@@ -274,6 +296,45 @@ impl Clocked for NocSystem {
             ClockedWith::skip(ni, from, cycles);
         }
         self.noc.skip(cycles);
+    }
+
+    /// The earliest cycle at which any bound IP could act on its own, each
+    /// IP's `idle_until` rounded up to its port clock's next edge (an IP is
+    /// only ticked on edges, so nothing can happen in between). The NIs and
+    /// the network contribute no spontaneous events while quiescent.
+    fn next_event(&self, now: u64) -> u64 {
+        fn at_edge(clock: ClockDomain, at: u64) -> u64 {
+            if at == u64::MAX {
+                u64::MAX
+            } else {
+                clock.next_edge(at)
+            }
+        }
+        let mut horizon = u64::MAX;
+        for b in &self.masters {
+            horizon = horizon.min(at_edge(b.clock, b.ip.idle_until(now)));
+        }
+        for b in &self.slaves {
+            horizon = horizon.min(at_edge(b.clock, b.ip.idle_until(now)));
+        }
+        for b in &self.raws {
+            horizon = horizon.min(at_edge(b.clock, b.ip.idle_until(now)));
+        }
+        horizon
+    }
+}
+
+/// A `NocSystem` is a shard region: a partition of a larger mesh (or a
+/// whole standalone system) driven by the lockstep
+/// [`ShardRunner`](noc_sim::shard::ShardRunner), with the boundary
+/// mailboxes living in its network.
+impl ShardRegion for NocSystem {
+    fn shard_noc(&self) -> &Noc {
+        &self.noc
+    }
+
+    fn shard_noc_mut(&mut self) -> &mut Noc {
+        &mut self.noc
     }
 }
 

@@ -10,6 +10,7 @@
 //! All timestamps are in base (500 MHz network) cycles; a port running at a
 //! divided clock simply pushes/pops less often.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Default clock-domain-crossing latency in base cycles (paper: "2 clock
@@ -30,6 +31,12 @@ impl std::error::Error for FifoFullError {}
 
 /// A bounded dual-clock hardware FIFO of 32-bit words.
 ///
+/// The reader-visible occupancy is kept in a maintained *visible-count
+/// register* (`visible` + the synchronizer timestamp it was valid at),
+/// mirroring the gray-coded level register of the hardware fifo: queries
+/// advance the register over only the words that crossed since the last
+/// query instead of re-scanning the queue.
+///
 /// # Example
 ///
 /// ```
@@ -45,6 +52,10 @@ pub struct HwFifo {
     capacity: usize,
     crossing: u64,
     q: VecDeque<(u32, u64)>, // (word, visible_at)
+    /// Visible-count register: words known to have crossed as of `seen_at`.
+    visible: Cell<usize>,
+    /// Timestamp the register was last synchronized at.
+    seen_at: Cell<u64>,
 }
 
 impl HwFifo {
@@ -59,7 +70,29 @@ impl HwFifo {
             capacity,
             crossing,
             q: VecDeque::with_capacity(capacity),
+            visible: Cell::new(0),
+            seen_at: Cell::new(0),
         }
+    }
+
+    /// Synchronizes the visible-count register to `now` and returns it.
+    ///
+    /// Time moving forward only ever reveals more of the queue's prefix, so
+    /// the register advances over the newly crossed words; a query *behind*
+    /// the register (a reader on a slower clock interleaved with a faster
+    /// one) falls back to the full prefix scan without touching the
+    /// register.
+    fn sync_visible(&self, now: u64) -> usize {
+        if now < self.seen_at.get() {
+            return self.q.iter().take_while(|&&(_, t)| t <= now).count();
+        }
+        let mut visible = self.visible.get();
+        while visible < self.q.len() && self.q[visible].1 <= now {
+            visible += 1;
+        }
+        self.visible.set(visible);
+        self.seen_at.set(now);
+        visible
     }
 
     /// Capacity in words.
@@ -94,9 +127,10 @@ impl HwFifo {
     }
 
     /// Occupancy visible to the *reader* side at cycle `now` (words that
-    /// have completed the clock-domain crossing).
+    /// have completed the clock-domain crossing), read from the maintained
+    /// visible-count register.
     pub fn sync_level(&self, now: u64) -> usize {
-        self.q.iter().take_while(|&&(_, t)| t <= now).count()
+        self.sync_visible(now)
     }
 
     /// Pushes a word at cycle `now`.
@@ -115,7 +149,16 @@ impl HwFifo {
     /// Pops the oldest *visible* word at cycle `now`.
     pub fn pop(&mut self, now: u64) -> Option<u32> {
         match self.q.front() {
-            Some(&(_, t)) if t <= now => self.q.pop_front().map(|(w, _)| w),
+            Some(&(_, t)) if t <= now => {
+                // Keep the visible-count register consistent: the popped
+                // word was part of the visible prefix (or the prefix was
+                // still unsynchronized — then the register is 0 and stays).
+                let v = self.visible.get();
+                if v > 0 {
+                    self.visible.set(v - 1);
+                }
+                self.q.pop_front().map(|(w, _)| w)
+            }
             _ => None,
         }
     }
@@ -131,6 +174,7 @@ impl HwFifo {
     /// Removes all words (used on reset / connection close).
     pub fn clear(&mut self) {
         self.q.clear();
+        self.visible.set(0);
     }
 }
 

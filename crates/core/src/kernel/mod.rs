@@ -634,6 +634,17 @@ impl ClockedWith<NiLink> for NiKernel {
             && self.cnip.as_ref().is_none_or(|c| c.out.is_empty())
     }
 
+    /// A quiescent kernel has no spontaneous events: reserved-but-unused GT
+    /// slot accounting is handled arithmetically by
+    /// [`skip`](ClockedWith::skip), and slot-table due times only matter
+    /// once data is queued — which already blocks quiescence. The horizon
+    /// is therefore unbounded; per-NI activity composes into the region
+    /// horizon purely through `quiescent`.
+    fn next_event(&self, now: u64) -> u64 {
+        let _ = now;
+        u64::MAX
+    }
+
     /// Slot-table-aware time skip: while quiescent, the only per-cycle
     /// effect is one `gt_slots_unused` event per reserved slot whose
     /// boundary is crossed — counted here by walking the slot table once

@@ -247,6 +247,12 @@ impl ClockedWith<NiLink> for Ni {
     fn skip(&mut self, from_cycle: u64, cycles: u64) {
         ClockedWith::<NiLink>::skip(&mut self.kernel, from_cycle, cycles);
     }
+
+    /// Per-NI activity horizon: shells are request-driven (no spontaneous
+    /// events), so the NI's horizon is its kernel's.
+    fn next_event(&self, now: u64) -> u64 {
+        ClockedWith::<NiLink>::next_event(&self.kernel, now)
+    }
 }
 
 #[cfg(test)]

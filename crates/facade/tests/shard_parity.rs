@@ -1,0 +1,390 @@
+//! Bit-identity of sharded execution.
+//!
+//! The shard refactor cuts a configured `NocSystem` at link boundaries into
+//! lockstep regions with boundary-word mailboxes, and generalizes the
+//! quiescent fast path into a per-region activity set. These tests pin the
+//! non-negotiable: a sharded run — sequential or on worker threads, for any
+//! shard count — is **bit-identical** to `Engine::run` on the unsplit
+//! system, in every per-link counter, NI kernel counter, IP statistic and
+//! delivered word, for both uniform and hotspot traffic.
+
+use aethereal::cfg::runtime::{ChannelEnd, ConnectionRequest, Service};
+use aethereal::cfg::{
+    presets, NocSpec, NocSystem, RuntimeConfigurator, ShardedSystem, SlotStrategy, TopologySpec,
+};
+use aethereal::ni::kernel::NiKernelStats;
+use aethereal::proto::{
+    MemorySlave, StreamSink, StreamSource, TrafficGenerator, TrafficGeneratorConfig, TrafficMix,
+};
+use aethereal::sim::shard::Partition;
+use aethereal::sim::{Clocked, Engine, NocStats, Topology};
+
+/// Long enough for every workload to drain and the idle tail to engage the
+/// per-region skip machinery.
+const HORIZON: u64 = 12_000;
+
+/// Traffic shape over the 4x4 mesh.
+#[derive(Clone, Copy)]
+enum Pattern {
+    /// Every master targets the slave diagonally across the cut.
+    Uniform,
+    /// Every master hammers channels of one slave NI.
+    Hotspot,
+}
+
+struct Scenario {
+    sys: NocSystem,
+    topo: Topology,
+    /// `(ni, port)` of every bound traffic generator.
+    masters: Vec<(usize, usize)>,
+    /// Global NI of the GT stream sink.
+    sink: usize,
+}
+
+/// A 4x4 mesh (one NI per router): config module on NI 0, traffic
+/// generators on NIs 1–6, slaves on the south half, and a GT stream pair
+/// NI 7 → NI 15 crossing every row cut. All connections are opened through
+/// the NoC itself; the system is settled (network drained) before the
+/// workloads are bound, so the same builder serves the unsplit reference
+/// and the sharded run.
+fn scenario(pattern: Pattern) -> Scenario {
+    let mut nis = vec![presets::cfg_module_ni(0, 16)];
+    for id in 1..7 {
+        nis.push(presets::master_ni(id));
+    }
+    nis.push(presets::raw_ni(7, 1));
+    for id in 8..13 {
+        nis.push(presets::slave_ni(id));
+    }
+    nis.push(match pattern {
+        Pattern::Uniform => presets::slave_ni(13),
+        Pattern::Hotspot => presets::multi_slave_ni(13, 6),
+    });
+    nis.push(presets::slave_ni(14));
+    nis.push(presets::raw_ni(15, 1));
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+            nis_per_router: 1,
+        },
+        nis,
+    );
+    let topo = spec.topology.build();
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, 8);
+    for m in 1..7usize {
+        let (slave, channel) = match pattern {
+            Pattern::Uniform => (m + 7, 1),
+            Pattern::Hotspot => (13, m),
+        };
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest::best_effort(
+                ChannelEnd { ni: m, channel: 1 },
+                ChannelEnd { ni: slave, channel },
+            ),
+        )
+        .expect("BE connection opens");
+    }
+    cfg.open_connection(
+        &mut sys,
+        &ConnectionRequest {
+            fwd: Service::Guaranteed {
+                slots: 2,
+                strategy: SlotStrategy::Spread,
+            },
+            rev: Service::BestEffort,
+            ..ConnectionRequest::best_effort(
+                ChannelEnd { ni: 7, channel: 1 },
+                ChannelEnd { ni: 15, channel: 1 },
+            )
+        },
+    )
+    .expect("GT connection opens");
+    // Settle: the split point requires a drained network; the reference run
+    // settles identically so the two executions stay cycle-aligned.
+    assert!(
+        Engine::run_until(&mut sys, |s| s.noc.quiescent(), 2_000),
+        "configuration traffic must drain"
+    );
+    let mut masters = Vec::new();
+    for m in 1..7usize {
+        sys.bind_master(
+            m,
+            1,
+            Box::new(TrafficGenerator::new(TrafficGeneratorConfig {
+                seed: 11 * m as u64 + 3,
+                addr_base: 0,
+                addr_range: 0x200,
+                mix: TrafficMix::Mixed { read_fraction: 0.5 },
+                burst: (1, 4),
+                // Mixed pacing: saturating and gappy generators together
+                // exercise both the busy path and the idle-gap horizon.
+                gap_cycles: [0, 7, 23][m % 3],
+                total: Some(30),
+                max_outstanding: 4,
+            })),
+        );
+        masters.push((m, 1));
+        let (slave, port) = match pattern {
+            Pattern::Uniform => (m + 7, 1),
+            Pattern::Hotspot => (13, 1),
+        };
+        if pattern_is_uniform(pattern) || m == 1 {
+            sys.bind_slave(slave, port, Box::new(MemorySlave::new(2 + (m as u64 % 3))));
+        }
+    }
+    sys.bind_raw(7, 1, vec![1], Box::new(StreamSource::counting(400)));
+    sys.bind_raw(15, 1, vec![1], Box::new(StreamSink::new()));
+    Scenario {
+        sys,
+        topo,
+        masters,
+        sink: 15,
+    }
+}
+
+fn pattern_is_uniform(p: Pattern) -> bool {
+    matches!(p, Pattern::Uniform)
+}
+
+/// Everything compared between the unsplit and sharded executions.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    cycle: u64,
+    noc: NocStats,
+    kernels: Vec<NiKernelStats>,
+    generators: Vec<(u64, u64, u64, u64)>, // issued, completed, errors, Σlatency
+    received: Vec<u32>,
+    gt_conflicts: u64,
+    be_overflows: u64,
+}
+
+fn observe_single(s: &Scenario) -> Observed {
+    Observed {
+        cycle: s.sys.cycle(),
+        noc: s.sys.noc.stats().clone(),
+        kernels: s.sys.nis.iter().map(|ni| *ni.kernel.stats()).collect(),
+        generators: s
+            .masters
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let g = s.sys.master_ip_as::<TrafficGenerator>(i);
+                (
+                    g.issued(),
+                    g.completed(),
+                    g.errors(),
+                    g.latency_samples().iter().sum(),
+                )
+            })
+            .collect(),
+        received: s
+            .sys
+            .raw_ip_as::<StreamSink>(1) // raw handle 1 = the sink
+            .received()
+            .to_vec(),
+        gt_conflicts: s.sys.noc.gt_conflicts(),
+        be_overflows: s.sys.noc.be_overflows(),
+    }
+}
+
+fn observe_sharded(sharded: &ShardedSystem, masters: &[(usize, usize)], sink: usize) -> Observed {
+    Observed {
+        cycle: sharded.cycle(),
+        noc: sharded.merged_noc_stats(),
+        kernels: sharded.kernel_stats(),
+        generators: masters
+            .iter()
+            .map(|&(ni, port)| {
+                let g = sharded.master_ip_as::<TrafficGenerator>(ni, port);
+                (
+                    g.issued(),
+                    g.completed(),
+                    g.errors(),
+                    g.latency_samples().iter().sum(),
+                )
+            })
+            .collect(),
+        received: sharded.raw_ip_as::<StreamSink>(sink).received().to_vec(),
+        gt_conflicts: sharded.gt_conflicts(),
+        be_overflows: sharded.be_overflows(),
+    }
+}
+
+/// The reference: the unsplit system driven by `Engine::run`.
+fn reference(pattern: Pattern) -> (Observed, Vec<(usize, usize)>) {
+    let mut s = scenario(pattern);
+    s.sys.run(HORIZON);
+    let masters = s.masters.clone();
+    let o = observe_single(&s);
+    (o, masters)
+}
+
+fn sharded_run(pattern: Pattern, shards: usize, parallel: bool) -> Observed {
+    let s = scenario(pattern);
+    let partition = if shards == 1 {
+        Partition::single(s.topo.router_count())
+    } else {
+        Partition::mesh_rows(4, 4, shards)
+    };
+    let mut sharded = ShardedSystem::new(s.sys, &s.topo, &partition);
+    assert_eq!(sharded.shard_count(), shards);
+    if parallel {
+        sharded.run_parallel(HORIZON);
+    } else {
+        sharded.run(HORIZON);
+    }
+    observe_sharded(&sharded, &s.masters, s.sink)
+}
+
+#[test]
+fn uniform_traffic_is_bit_identical_across_shard_counts() {
+    let (reference, _) = reference(Pattern::Uniform);
+    assert_eq!(reference.gt_conflicts, 0, "GT slots are contention-free");
+    assert_eq!(reference.be_overflows, 0, "credit discipline holds");
+    assert_eq!(reference.received.len(), 400, "GT stream fully delivered");
+    for g in &reference.generators {
+        assert_eq!(g.0, 30, "every generator met its quota");
+        assert_eq!(g.1, 30, "every transaction completed");
+    }
+    for shards in [1, 2, 4] {
+        let sharded = sharded_run(Pattern::Uniform, shards, false);
+        assert_eq!(sharded, reference, "{shards}-shard run diverged");
+    }
+}
+
+#[test]
+fn hotspot_traffic_is_bit_identical_across_shard_counts() {
+    let (reference, _) = reference(Pattern::Hotspot);
+    assert_eq!(reference.gt_conflicts, 0);
+    assert_eq!(reference.be_overflows, 0);
+    for g in &reference.generators {
+        assert_eq!((g.0, g.1), (30, 30));
+    }
+    for shards in [1, 2, 4] {
+        let sharded = sharded_run(Pattern::Hotspot, shards, false);
+        assert_eq!(sharded, reference, "{shards}-shard run diverged");
+    }
+}
+
+#[test]
+fn worker_thread_execution_is_bit_identical() {
+    let (uniform_ref, _) = reference(Pattern::Uniform);
+    let sharded = sharded_run(Pattern::Uniform, 2, true);
+    assert_eq!(sharded, uniform_ref, "parallel 2-shard run diverged");
+    let sharded = sharded_run(Pattern::Hotspot, 4, true);
+    let (hotspot_ref, _) = reference(Pattern::Hotspot);
+    assert_eq!(sharded, hotspot_ref, "parallel 4-shard run diverged");
+}
+
+/// The activity-set machinery must actually engage: once every workload is
+/// done, all regions leave the activity set, and the remaining span is
+/// covered by per-region skips while the global counters stay exact.
+#[test]
+fn drained_regions_leave_the_activity_set_and_stay_exact() {
+    let s = scenario(Pattern::Uniform);
+    let partition = Partition::mesh_rows(4, 4, 2);
+    let mut sharded = ShardedSystem::new(s.sys, &s.topo, &partition);
+    sharded.run(HORIZON);
+    assert!(sharded.all_ips_done(), "workloads drain inside the horizon");
+    assert_eq!(sharded.awake_count(), 0, "drained regions all sleep");
+    let before = sharded.merged_noc_stats();
+    sharded.run(5_000);
+    let after = sharded.merged_noc_stats();
+    assert_eq!(
+        after.cycles,
+        before.cycles + 5_000,
+        "skips stay cycle-exact"
+    );
+    assert_eq!(after.delivered, before.delivered, "sleep moves no words");
+}
+
+/// The per-IP activity horizon: a paced generator's gap makes the *system*
+/// quiescent with a finite next-event horizon, and `Engine::run`'s
+/// horizon-bounded skip across those gaps is bit-identical to per-cycle
+/// ticking.
+#[test]
+fn pacing_gaps_are_skipped_exactly_by_the_engine() {
+    let build = || {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 2,
+            },
+            vec![
+                presets::cfg_module_ni(0, 4),
+                presets::master_ni(1),
+                presets::slave_ni(2),
+                presets::slave_ni(3),
+            ],
+        );
+        let mut sys = NocSystem::from_spec(&spec);
+        let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, 8);
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest::best_effort(
+                ChannelEnd { ni: 1, channel: 1 },
+                ChannelEnd { ni: 2, channel: 1 },
+            ),
+        )
+        .expect("connection opens");
+        sys.bind_master(
+            1,
+            1,
+            Box::new(TrafficGenerator::new(TrafficGeneratorConfig {
+                seed: 5,
+                addr_base: 0,
+                addr_range: 0x100,
+                mix: TrafficMix::ReadOnly,
+                burst: (1, 2),
+                gap_cycles: 120, // long gaps: the whole system drains between bursts
+                total: Some(8),
+                max_outstanding: 1,
+            })),
+        );
+        sys.bind_slave(2, 1, Box::new(MemorySlave::new(3)));
+        sys
+    };
+    // The horizon engages mid-run: the system goes quiescent inside a gap
+    // while the workload is not done, and reports a finite wake-up cycle.
+    let mut probe = build();
+    let met = Engine::run_until(&mut probe, |s| s.quiescent() && !s.all_ips_done(), 3_000);
+    assert!(met, "system must go quiescent inside a pacing gap");
+    let now = probe.cycle();
+    let horizon = probe.next_event(now);
+    assert!(
+        horizon > now && horizon != u64::MAX,
+        "gap must yield a finite horizon (got {horizon} at {now})"
+    );
+    // And skipping those gaps is exact: bit-identical to per-cycle ticking.
+    let mut by_tick = build();
+    for _ in 0..4_000 {
+        Engine::tick(&mut by_tick);
+    }
+    let mut by_run = build();
+    by_run.run(4_000);
+    assert_eq!(by_tick.cycle(), by_run.cycle());
+    assert_eq!(by_tick.noc.stats(), by_run.noc.stats());
+    assert_eq!(
+        by_tick
+            .nis
+            .iter()
+            .map(|n| *n.kernel.stats())
+            .collect::<Vec<_>>(),
+        by_run
+            .nis
+            .iter()
+            .map(|n| *n.kernel.stats())
+            .collect::<Vec<_>>()
+    );
+    let ga = by_tick.master_ip_as::<TrafficGenerator>(0);
+    let gb = by_run.master_ip_as::<TrafficGenerator>(0);
+    assert_eq!(ga.issued(), 8);
+    assert_eq!(
+        (ga.issued(), ga.completed(), ga.latency_samples()),
+        (gb.issued(), gb.completed(), gb.latency_samples())
+    );
+}

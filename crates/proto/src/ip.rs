@@ -8,7 +8,15 @@
 //! base network cycles.
 //!
 //! The traits here only add what the contract does not carry: `as_any` for
-//! post-run inspection and `done` for run-to-idle driving.
+//! post-run inspection, `done` for run-to-idle driving, and `idle_until`
+//! for per-component **activity reporting** — the earliest cycle at which
+//! the IP could act on its own. The system orchestrator composes its
+//! quiescence check and its [`Clocked::next_event`] horizon from these, so
+//! a whole region of a sharded mesh can skip exactly while its IPs are
+//! between bursts (see `noc_sim::shard`). All IPs are `Send`: regions run
+//! on worker threads.
+//!
+//! [`Clocked::next_event`]: noc_sim::engine::Clocked::next_event
 
 use aethereal_ni::kernel::{ChannelId, NiKernel};
 use aethereal_ni::shell::{MasterStack, SlaveStack};
@@ -25,7 +33,7 @@ pub struct RawPort<'a> {
 }
 
 /// A master IP module driving a master port.
-pub trait MasterIp: ClockedWith<MasterStack> {
+pub trait MasterIp: ClockedWith<MasterStack> + Send {
     /// Concrete-type access for post-run inspection (latency stats etc.).
     fn as_any(&self) -> &dyn std::any::Any;
 
@@ -34,21 +42,63 @@ pub trait MasterIp: ClockedWith<MasterStack> {
     fn done(&self) -> bool {
         false
     }
+
+    /// The earliest base cycle ≥ `now` at which this IP could initiate new
+    /// work *without any input*: `now` means "active right now" (blocks
+    /// quiescence), a future cycle licenses the engine to skip the gap
+    /// exactly, `u64::MAX` means "never again" (typically [`done`]).
+    ///
+    /// The default derives activity from [`done`], reproducing the
+    /// engine's original all-or-nothing behavior; pacing-aware IPs (a
+    /// generator between bursts, a trace replayer waiting for an entry's
+    /// timestamp) override it with their real schedule.
+    ///
+    /// [`done`]: MasterIp::done
+    fn idle_until(&self, now: u64) -> u64 {
+        if self.done() {
+            u64::MAX
+        } else {
+            now
+        }
+    }
 }
 
 /// A slave IP module serving a slave port.
-pub trait SlaveIp: ClockedWith<SlaveStack> {
+pub trait SlaveIp: ClockedWith<SlaveStack> + Send {
     /// Concrete-type access for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// The earliest base cycle ≥ `now` at which this slave could act
+    /// without new input — see [`MasterIp::idle_until`].
+    ///
+    /// The default is `u64::MAX`: a pure request/response slave only reacts
+    /// to requests. A slave holding *internal delayed work* (e.g. a memory
+    /// with a latency pipeline) **must** override this to report its
+    /// pending completions, or a sharded region containing only this slave
+    /// could be put to sleep with a response still owed.
+    fn idle_until(&self, now: u64) -> u64 {
+        let _ = now;
+        u64::MAX
+    }
 }
 
 /// An IP streaming raw message words through kernel channels (no shell).
-pub trait RawIp: for<'a> ClockedWith<RawPort<'a>> {
+pub trait RawIp: for<'a> ClockedWith<RawPort<'a>> + Send {
     /// Concrete-type access for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;
 
     /// Whether the IP has finished its workload.
     fn done(&self) -> bool {
         false
+    }
+
+    /// The earliest base cycle ≥ `now` at which this IP could initiate new
+    /// work without input — see [`MasterIp::idle_until`].
+    fn idle_until(&self, now: u64) -> u64 {
+        if self.done() {
+            u64::MAX
+        } else {
+            now
+        }
     }
 }

@@ -129,6 +129,16 @@ impl SlaveIp for MemorySlave {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    /// A response waiting out its access latency is internal delayed work:
+    /// report it, or a sharded region holding only this memory could sleep
+    /// with the response still owed.
+    fn idle_until(&self, now: u64) -> u64 {
+        match self.inflight.front() {
+            Some(&(ready, _)) => now.max(ready),
+            None => u64::MAX,
+        }
+    }
 }
 
 #[cfg(test)]

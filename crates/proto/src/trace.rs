@@ -152,6 +152,18 @@ impl MasterIp for TraceMaster {
     fn done(&self) -> bool {
         self.next >= self.trace.len() && self.inflight.is_empty()
     }
+
+    /// With nothing outstanding, the replayer sleeps until the next trace
+    /// entry's timestamp.
+    fn idle_until(&self, now: u64) -> u64 {
+        if !self.inflight.is_empty() {
+            return now;
+        }
+        match self.trace.entries.get(self.next) {
+            Some(e) => now.max(e.at_cycle),
+            None => u64::MAX,
+        }
+    }
 }
 
 #[cfg(test)]

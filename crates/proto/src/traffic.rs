@@ -218,6 +218,22 @@ impl MasterIp for TrafficGenerator {
     fn done(&self) -> bool {
         self.cfg.total.is_some_and(|t| self.issued >= t) && self.inflight.is_empty()
     }
+
+    /// Pacing-aware activity: with nothing outstanding and quota left, the
+    /// generator cannot act before its gap elapses — ticking it until then
+    /// is a no-op, so the engine may skip the whole gap exactly.
+    fn idle_until(&self, now: u64) -> u64 {
+        if self.done() {
+            return u64::MAX;
+        }
+        if !self.inflight.is_empty() {
+            return now; // responses may arrive; stay hot
+        }
+        match self.last_submit {
+            Some(last) => now.max(last.saturating_add(self.cfg.gap_cycles)),
+            None => now,
+        }
+    }
 }
 
 #[cfg(test)]

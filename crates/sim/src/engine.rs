@@ -34,18 +34,33 @@
 //! have a different clock frequency", §4.1 of the paper), replacing the
 //! inline `cycle % div == 0` checks that were scattered across the crates.
 //!
-//! # The driver and the quiescent fast path
+//! # The driver, the quiescent fast path and the next-event horizon
 //!
 //! [`Engine::run`] / [`Engine::run_until`] are the only run loops in the
 //! workspace. `run` has a slot-table-aware fast path: when a fabric reports
 //! itself [`quiescent`](Clocked::quiescent) — no words in flight, no
 //! sendable data, no pending credits — ticking it can change nothing except
-//! time-derived counters, so the driver batches the remaining whole
-//! [`SLOT_WORDS`] slots into one [`skip`](Clocked::skip) call. Implementors
-//! of `skip` account for per-slot effects arithmetically (e.g. the NI
-//! kernel adds one unused-slot event per reserved slot crossed, walking its
-//! slot table instead of the clock). `run_until` never skips: its predicate
-//! must observe every cycle boundary.
+//! time-derived counters, so the driver batches cycles into
+//! [`skip`](Clocked::skip) calls. Implementors of `skip` account for
+//! per-slot effects arithmetically (e.g. the NI kernel adds one unused-slot
+//! event per reserved slot crossed, walking its slot table instead of the
+//! clock).
+//!
+//! The all-or-nothing skip of the first engine generation is generalized by
+//! [`Clocked::next_event`]: a quiescent fabric reports the earliest future
+//! cycle at which it could *spontaneously* act again (a paced traffic
+//! source's next submission rounded to its port clock's
+//! [`ClockDomain::next_edge`], a trace entry's timestamp, …), and `run`
+//! skips exactly up to that horizon instead of either skipping everything
+//! or nothing. A fully drained fabric reports `u64::MAX`, which degenerates
+//! to the old skip-the-rest behavior.
+//!
+//! `run_until` observes every cycle boundary: the predicate is evaluated
+//! before each cycle, and while the fabric is quiescent the tick itself is
+//! replaced by the (state-identical, by the quiescence contract) `skip(1)`.
+//! [`Engine::run_until_horizon`] is the explicit opt-in for *cycle-driven*
+//! predicates, batching whole quiescent stretches up to the next-event
+//! horizon between predicate checks.
 
 use crate::word::SLOT_WORDS;
 
@@ -150,6 +165,23 @@ pub trait Clocked {
             self.absorb();
         }
     }
+
+    /// The earliest base cycle at which the fabric could act again *on its
+    /// own* — without any external input — given that it is currently
+    /// [`quiescent`](Clocked::quiescent): a paced generator's next
+    /// submission (rounded up to its port clock's
+    /// [`ClockDomain::next_edge`]), a trace entry's timestamp, and so on.
+    ///
+    /// Only consulted while quiescent; [`Engine::run`] (and the shard
+    /// activity-set scheduler in [`crate::shard`]) will
+    /// [`skip`](Clocked::skip) at most up to this horizon, never past it.
+    /// `u64::MAX` — the default — means "never": nothing can happen without
+    /// external input, which reproduces the original skip-the-rest fast
+    /// path.
+    fn next_event(&self, now: u64) -> u64 {
+        let _ = now;
+        u64::MAX
+    }
 }
 
 /// An endpoint ticked against an external context: an NI kernel against its
@@ -183,6 +215,15 @@ pub trait ClockedWith<Ctx: ?Sized> {
     fn skip(&mut self, from_cycle: u64, cycles: u64) {
         let _ = (from_cycle, cycles);
     }
+
+    /// Endpoint analogue of [`Clocked::next_event`]: the earliest base
+    /// cycle at which this endpoint could act spontaneously while
+    /// quiescent. Containers (an NI over its shells, a system over its
+    /// regions) compose their own horizon as the minimum over their parts.
+    fn next_event(&self, now: u64) -> u64 {
+        let _ = now;
+        u64::MAX
+    }
 }
 
 /// The single generic cycle driver.
@@ -203,15 +244,22 @@ impl Engine {
     /// Runs `cycles` cycles.
     ///
     /// When the fabric reports itself quiescent and at least one whole slot
-    /// remains, the remaining cycles are batched into one
-    /// [`Clocked::skip`] — quiescence cannot end without external input, so
-    /// the skip is exact, not approximate.
+    /// remains, the cycles up to the fabric's [`Clocked::next_event`]
+    /// horizon are batched into one [`Clocked::skip`] — quiescence cannot
+    /// end before that horizon without external input, so the skip is
+    /// exact, not approximate. A fully drained fabric (horizon `u64::MAX`)
+    /// skips everything that remains in one call.
     pub fn run<C: Clocked + ?Sized>(fabric: &mut C, cycles: u64) {
         let mut remaining = cycles;
         while remaining > 0 {
             if remaining >= SLOT_WORDS && fabric.quiescent() {
-                fabric.skip(remaining);
-                return;
+                let now = fabric.now();
+                let chunk = remaining.min(fabric.next_event(now).saturating_sub(now));
+                if chunk >= SLOT_WORDS {
+                    fabric.skip(chunk);
+                    remaining -= chunk;
+                    continue;
+                }
             }
             Self::tick(fabric);
             remaining -= 1;
@@ -219,8 +267,15 @@ impl Engine {
     }
 
     /// Runs until `pred` holds or `max_cycles` elapse; returns whether the
-    /// predicate was met. The predicate is evaluated before every cycle
-    /// (and once more at the horizon), so no fast path applies.
+    /// predicate was met.
+    ///
+    /// The predicate observes **every** cycle boundary, so the stopping
+    /// cycle is exact for any predicate. While the fabric is quiescent the
+    /// tick is replaced by a `skip(1)` — state-identical by the quiescence
+    /// contract, but without the per-cycle emit/absorb walk — so long waits
+    /// on an idle system no longer pay for full ticks. For cycle-driven
+    /// predicates that tolerate coarser stopping points, see
+    /// [`Engine::run_until_horizon`].
     pub fn run_until<C, P>(fabric: &mut C, mut pred: P, max_cycles: u64) -> bool
     where
         C: Clocked + ?Sized,
@@ -230,7 +285,46 @@ impl Engine {
             if pred(fabric) {
                 return true;
             }
+            if fabric.quiescent() {
+                fabric.skip(1);
+            } else {
+                Self::tick(fabric);
+            }
+        }
+        pred(fabric)
+    }
+
+    /// Like [`Engine::run_until`], but batches quiescent stretches up to
+    /// the [`Clocked::next_event`] horizon between predicate checks — the
+    /// explicit opt-in for **cycle-driven** predicates (monotone once-true
+    /// conditions such as "enough cycles elapsed" or "workload done").
+    ///
+    /// While the fabric is quiescent the predicate is *not* evaluated at
+    /// every intermediate cycle, so the stopping cycle may overshoot the
+    /// predicate's first-true cycle — by at most the distance to the next
+    /// event horizon (or `max_cycles`). State-inspecting predicates that
+    /// need the exact boundary belong on [`Engine::run_until`].
+    pub fn run_until_horizon<C, P>(fabric: &mut C, mut pred: P, max_cycles: u64) -> bool
+    where
+        C: Clocked + ?Sized,
+        P: FnMut(&C) -> bool,
+    {
+        let mut remaining = max_cycles;
+        while remaining > 0 {
+            if pred(fabric) {
+                return true;
+            }
+            if remaining >= SLOT_WORDS && fabric.quiescent() {
+                let now = fabric.now();
+                let chunk = remaining.min(fabric.next_event(now).saturating_sub(now));
+                if chunk >= SLOT_WORDS {
+                    fabric.skip(chunk);
+                    remaining -= chunk;
+                    continue;
+                }
+            }
             Self::tick(fabric);
+            remaining -= 1;
         }
         pred(fabric)
     }
@@ -246,7 +340,11 @@ mod tests {
         emits: u64,
         absorbs: u64,
         skipped: u64,
+        skip_calls: u64,
         quiescent_after: u64,
+        /// Spontaneous-event schedule: while quiescent, the next event is
+        /// the first entry after the current cycle (`u64::MAX` beyond).
+        events: Vec<u64>,
     }
 
     impl Probe {
@@ -256,7 +354,9 @@ mod tests {
                 emits: 0,
                 absorbs: 0,
                 skipped: 0,
+                skip_calls: 0,
                 quiescent_after,
+                events: Vec::new(),
             }
         }
     }
@@ -278,12 +378,22 @@ mod tests {
         }
 
         fn quiescent(&self) -> bool {
-            self.cycle >= self.quiescent_after
+            self.cycle >= self.quiescent_after && !self.events.contains(&self.cycle)
         }
 
         fn skip(&mut self, cycles: u64) {
             self.skipped += cycles;
+            self.skip_calls += 1;
             self.cycle += cycles;
+        }
+
+        fn next_event(&self, now: u64) -> u64 {
+            self.events
+                .iter()
+                .copied()
+                .filter(|&e| e > now)
+                .min()
+                .unwrap_or(u64::MAX)
         }
     }
 
@@ -312,12 +422,27 @@ mod tests {
     }
 
     #[test]
-    fn until_pred_stops_exactly_and_never_skips() {
+    fn run_skips_only_to_the_next_event_horizon() {
+        let mut p = Probe::new(0);
+        p.events = vec![40, 80];
+        Engine::run(&mut p, 100);
+        assert_eq!(p.now(), 100);
+        // Three quiescent stretches ([0,40), [41,80), [81,100)), one skip
+        // each, plus one real tick at each event cycle.
+        assert_eq!(p.skip_calls, 3, "one batched skip per idle stretch");
+        assert_eq!(p.emits, 2, "ticked exactly at the event cycles");
+        assert_eq!(p.skipped, 98);
+    }
+
+    #[test]
+    fn until_pred_stops_exactly_and_replaces_idle_ticks_with_unit_skips() {
         let mut p = Probe::new(0); // quiescent from the start
         let met = Engine::run_until(&mut p, |f| f.now() >= 7, 100);
         assert!(met);
         assert_eq!(p.now(), 7, "stops on the exact cycle");
-        assert_eq!(p.skipped, 0, "run_until must observe every cycle");
+        assert_eq!(p.emits, 0, "quiescent cycles never pay for a full tick");
+        assert_eq!(p.skipped, 7, "advanced by unit skips instead");
+        assert_eq!(p.skip_calls, 7, "…observing every cycle boundary");
     }
 
     #[test]
@@ -326,6 +451,37 @@ mod tests {
         let met = Engine::run_until(&mut p, |_| false, 9);
         assert!(!met);
         assert_eq!(p.now(), 9);
+        assert_eq!(p.emits, 9, "active fabric is fully ticked");
+    }
+
+    #[test]
+    fn until_horizon_batches_idle_stretches() {
+        let mut p = Probe::new(0);
+        p.events = vec![50];
+        let met = Engine::run_until_horizon(&mut p, |f| f.now() >= 80, 1_000);
+        assert!(met);
+        // One batch to the event at 50, a tick there, then one batch that
+        // overshoots the predicate's first-true cycle — stopping at the
+        // horizon bound (here: max_cycles), as documented.
+        assert!(p.now() >= 80);
+        assert_eq!(p.emits, 1, "only the event cycle is ticked");
+        assert!(
+            p.skip_calls <= 2,
+            "idle stretches batched: {}",
+            p.skip_calls
+        );
+    }
+
+    #[test]
+    fn until_horizon_checks_pred_between_batches() {
+        let mut p = Probe::new(0);
+        p.events = vec![30];
+        // Predicate becomes true exactly at the event cycle: the batch ends
+        // there, the check fires before any further work.
+        let met = Engine::run_until_horizon(&mut p, |f| f.now() >= 30, 1_000);
+        assert!(met);
+        assert_eq!(p.now(), 30, "stops at the horizon boundary");
+        assert_eq!(p.emits, 0);
     }
 
     #[test]

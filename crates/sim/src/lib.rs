@@ -64,6 +64,7 @@ pub mod path;
 pub mod ring;
 pub mod rng;
 pub mod router;
+pub mod shard;
 pub mod stats;
 pub mod topology;
 pub mod word;
@@ -76,6 +77,7 @@ pub use path::{Path, PortIdx, MAX_HOPS};
 pub use ring::Ring;
 pub use rng::Rng64;
 pub use router::Router;
+pub use shard::{NocShard, Partition, ShardRegion, ShardRunner};
 pub use stats::{LinkStats, NocStats};
 pub use topology::{Endpoint, NiId, RouterId, Topology, TopologyKind};
 pub use word::{LinkWord, Word, WordClass, FLIT_WORDS, SLOT_WORDS};

@@ -20,8 +20,9 @@ use crate::link::{LinkId, LinkState};
 use crate::path::PortIdx;
 use crate::ring::Ring;
 use crate::router::{EmitResult, Router, DEFAULT_BE_QUEUE_WORDS};
-use crate::stats::NocStats;
-use crate::topology::{Endpoint, NiId, Topology};
+use crate::shard::{NocShard, Partition};
+use crate::stats::{LinkStats, NocStats};
+use crate::topology::{Endpoint, NiId, RouterId, Topology};
 use crate::word::{LinkWord, WordClass, SLOT_WORDS};
 
 /// Construction parameters for a [`Noc`].
@@ -122,11 +123,39 @@ pub struct Noc {
     /// `ni_out_link[ni] = LinkId` of the NI → router link.
     ni_out_link: Vec<LinkId>,
     ni_links: Vec<NiLink>,
+    /// Shard-boundary attachments: router ports whose physical peer lives
+    /// in another shard's `Noc` (see [`crate::shard`]).
+    boundaries: Vec<BoundaryPort>,
+    /// `boundary_at[router][port] = boundary id` for boundary ports.
+    boundary_at: Vec<Vec<Option<usize>>>,
+    /// Construction parameters, kept so [`Noc::split`] can rebuild
+    /// identically-configured shard networks.
+    config: NocConfig,
     cycle: u64,
     stats: NocStats,
     /// Reusable per-tick scratch (cleared every cycle): keeps the
     /// steady-state tick free of allocations.
     scratch: TickScratch,
+}
+
+/// One shard-boundary attachment: the local half of a cut inter-router
+/// link. The port's emissions land in `out_word` (instead of a wire), and
+/// BE dequeues at the port's input earn credits for the remote producer in
+/// `out_credits`; the shard runner exchanges both between the global emit
+/// and absorb phases and delivers the remote side's words and credits into
+/// `in_word` / `in_credits`, which the absorb phase registers exactly as a
+/// wired link would.
+#[derive(Debug, Clone)]
+struct BoundaryPort {
+    router: usize,
+    port: PortIdx,
+    out_word: Option<LinkWord>,
+    out_credits: u32,
+    in_word: Option<LinkWord>,
+    in_credits: u32,
+    /// Ingress tally: words absorbed from the remote side. Stands in for
+    /// the cut directed link's [`LinkStats`] entry.
+    stats: LinkStats,
 }
 
 /// Reusable buffers for one tick.
@@ -208,6 +237,7 @@ impl Noc {
             }
         }
         let n_links = links.len();
+        let boundary_at = (0..nr).map(|r| vec![None; topology.ports_of(r)]).collect();
         Noc {
             routers,
             links,
@@ -215,6 +245,9 @@ impl Noc {
             in_src,
             ni_out_link,
             ni_links,
+            boundaries: Vec::new(),
+            boundary_at,
+            config,
             cycle: 0,
             stats: NocStats::new(n_links),
             scratch: TickScratch::default(),
@@ -281,6 +314,191 @@ impl Noc {
         self.routers.iter().map(Router::be_overflows).sum()
     }
 
+    // ---- Shard boundaries (see `crate::shard`) -----------------------
+
+    /// Declares the unwired `(router, port)` as a shard-boundary
+    /// attachment: the local half of an inter-router link that was cut by a
+    /// [`Partition`]. Returns the boundary id used with
+    /// [`Noc::take_boundary_out`] / [`Noc::put_boundary_in`].
+    ///
+    /// The port's output is granted the standard inter-router BE credit
+    /// budget (the remote input queue's capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already wired or already a boundary.
+    pub fn open_boundary(&mut self, router: RouterId, port: PortIdx) -> usize {
+        let p = port as usize;
+        assert!(
+            self.out_link[router][p].is_none() && self.in_src[router][p].is_none(),
+            "router {router} port {port} is wired inside this shard"
+        );
+        assert!(
+            self.boundary_at[router][p].is_none(),
+            "router {router} port {port} is already a boundary"
+        );
+        let id = self.boundaries.len();
+        self.boundaries.push(BoundaryPort {
+            router,
+            port,
+            out_word: None,
+            out_credits: 0,
+            in_word: None,
+            in_credits: 0,
+            stats: LinkStats::default(),
+        });
+        self.boundary_at[router][p] = Some(id);
+        self.routers[router].set_out_credits(port, self.config.be_queue_words as u32);
+        id
+    }
+
+    /// Number of boundary attachments.
+    pub fn boundary_count(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Takes this cycle's outbound boundary traffic: the word the local
+    /// router emitted through the cut port (if any) and the link-level BE
+    /// credits its input earned for the remote producer. Called by the
+    /// shard runner between the global emit and absorb phases.
+    pub fn take_boundary_out(&mut self, b: usize) -> (Option<LinkWord>, u32) {
+        let bp = &mut self.boundaries[b];
+        (bp.out_word.take(), std::mem::take(&mut bp.out_credits))
+    }
+
+    /// Delivers the remote side's outbound traffic for this cycle; the
+    /// absorb phase registers the word into the router input and returns
+    /// the credits to the local output, exactly as a wired link would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word is already pending (one word per link per cycle).
+    pub fn put_boundary_in(&mut self, b: usize, word: Option<LinkWord>, credits: u32) {
+        let bp = &mut self.boundaries[b];
+        if word.is_some() {
+            assert!(bp.in_word.is_none(), "boundary {b} already carries a word");
+            bp.in_word = word;
+        }
+        bp.in_credits += credits;
+    }
+
+    /// Ingress tally of boundary `b`: the words absorbed from the remote
+    /// side, standing in for the cut directed link's per-link counters.
+    pub fn boundary_stats(&self, b: usize) -> &LinkStats {
+        &self.boundaries[b].stats
+    }
+
+    /// Splits a **drained** network into per-shard networks along the cut
+    /// computed by `partition`, moving every router, NI handle and per-link
+    /// counter into its shard so that lockstep execution of the shards
+    /// (with boundary words exchanged between the global emit and absorb
+    /// phases — see [`crate::shard::ShardRunner`]) is bit-identical to
+    /// ticking `self`.
+    ///
+    /// `topology` must be the topology this network was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network still carries state on wires, in router queues
+    /// or in NI staging/inboxes (`quiescent` is the precondition that makes
+    /// the cut exact), if the topology does not match, or if the partition
+    /// is invalid for the topology.
+    pub fn split(mut self, topology: &Topology, partition: &Partition) -> Vec<NocShard> {
+        assert_eq!(
+            topology.router_count(),
+            self.routers.len(),
+            "topology does not match this network"
+        );
+        assert_eq!(topology.ni_count(), self.ni_links.len());
+        assert!(
+            self.boundaries.is_empty(),
+            "cannot split an already-sharded network"
+        );
+        assert!(
+            Clocked::quiescent(&self),
+            "split requires a drained network (wires, routers and NI handles empty)"
+        );
+        partition
+            .validate(topology)
+            .expect("partition fits topology");
+        let pieces = partition.pieces(topology);
+        let cuts = partition.cut_edges(topology);
+        let global_edges = topology.edges().len();
+        let mut out = Vec::with_capacity(pieces.len());
+        for (s, piece) in pieces.into_iter().enumerate() {
+            let mut noc = Noc::with_config(&piece.topology, self.config);
+            // Open boundaries in global cut order; record for each the
+            // global id of its *ingress* directed link (the one whose words
+            // this side absorbs) so stats merge back exactly.
+            let mut boundary_links = Vec::new();
+            let mut cut_ids = Vec::new();
+            for (k, c) in cuts.iter().enumerate() {
+                if c.a_shard == s {
+                    let lr = piece
+                        .routers
+                        .binary_search(&c.a_router)
+                        .expect("router in shard");
+                    noc.open_boundary(lr, c.a_port);
+                    // Global link ids: edge k' wires a→b as 2k', b→a as
+                    // 2k'+1; the a-side ingests the b→a direction.
+                    boundary_links.push(2 * c.edge + 1);
+                    cut_ids.push(k);
+                }
+                if c.b_shard == s {
+                    let lr = piece
+                        .routers
+                        .binary_search(&c.b_router)
+                        .expect("router in shard");
+                    noc.open_boundary(lr, c.b_port);
+                    boundary_links.push(2 * c.edge);
+                    cut_ids.push(k);
+                }
+            }
+            // Move the live state: routers (with their counters and credit
+            // registers) and NI attachment handles.
+            for (lr, &gr) in piece.routers.iter().enumerate() {
+                noc.routers[lr] = std::mem::replace(&mut self.routers[gr], Router::new(gr, 1, 1));
+            }
+            for (ln, &gn) in piece.nis.iter().enumerate() {
+                noc.ni_links[ln] = std::mem::replace(&mut self.ni_links[gn], NiLink::new(0, 1));
+            }
+            noc.cycle = self.cycle;
+            // Per-link counters follow their links; scalars stay on shard 0
+            // (merging sums shards, so pre-split history must not double).
+            let local_edges = piece.topology.edges().len();
+            let mut link_map = vec![0; noc.links.len()];
+            for (j, &ge) in piece.edge_map.iter().enumerate() {
+                link_map[2 * j] = 2 * ge;
+                link_map[2 * j + 1] = 2 * ge + 1;
+            }
+            for (ln, &gn) in piece.nis.iter().enumerate() {
+                link_map[2 * local_edges + 2 * ln] = 2 * global_edges + 2 * gn;
+                link_map[2 * local_edges + 2 * ln + 1] = 2 * global_edges + 2 * gn + 1;
+            }
+            for (l, &g) in link_map.iter().enumerate() {
+                noc.stats.links[l] = self.stats.links[g];
+            }
+            for (b, &g) in boundary_links.iter().enumerate() {
+                noc.boundaries[b].stats = self.stats.links[g];
+            }
+            noc.stats.cycles = self.cycle;
+            noc.stats.gt_conflicts = noc.gt_conflicts();
+            if s == 0 {
+                noc.stats.delivered = self.stats.delivered;
+                noc.stats.be_overflows = self.stats.be_overflows;
+            }
+            out.push(NocShard {
+                noc,
+                routers: piece.routers,
+                nis: piece.nis,
+                link_map,
+                boundary_links,
+                cuts: cut_ids,
+            });
+        }
+        out
+    }
+
     /// Advances the network by one cycle (emit, then absorb — a thin
     /// wrapper over [`Engine::tick`]).
     pub fn tick(&mut self) {
@@ -312,10 +530,21 @@ impl Clocked for Noc {
                 if let Some(l) = self.out_link[r][e.port as usize] {
                     debug_assert!(self.links[l].wire.is_none());
                     self.links[l].wire = Some(e.word);
+                } else if let Some(b) = self.boundary_at[r][e.port as usize] {
+                    debug_assert!(self.boundaries[b].out_word.is_none());
+                    self.boundaries[b].out_word = Some(e.word);
                 }
             }
             for &input in &result.be_dequeues {
-                self.scratch.credit_returns.push((r, input));
+                // A dequeue at a boundary input earns its credit for the
+                // *remote* producer: export it now so the inter-phase
+                // exchange delivers it into the same cycle's absorb, exactly
+                // like the wired-link return below.
+                if let Some(b) = self.boundary_at[r][input as usize] {
+                    self.boundaries[b].out_credits += 1;
+                } else {
+                    self.scratch.credit_returns.push((r, input));
+                }
             }
             self.scratch.emit = result;
         }
@@ -334,6 +563,20 @@ impl Clocked for Noc {
     /// the upstream producers.
     fn absorb(&mut self) {
         let cycle = self.cycle;
+        // Boundary ingress: words and credits the shard runner delivered
+        // from remote shards register exactly like wired-link arrivals.
+        for b in 0..self.boundaries.len() {
+            let (r, p) = (self.boundaries[b].router, self.boundaries[b].port);
+            if let Some(word) = self.boundaries[b].in_word.take() {
+                self.boundaries[b]
+                    .stats
+                    .record(word.class(), word.is_header());
+                self.routers[r].absorb(p, word, cycle);
+            }
+            for _ in 0..std::mem::take(&mut self.boundaries[b].in_credits) {
+                self.routers[r].add_out_credit(p);
+            }
+        }
         for l in 0..self.links.len() {
             let Some(word) = self.links[l].wire.take() else {
                 continue;
@@ -382,6 +625,12 @@ impl Clocked for Noc {
                 .ni_links
                 .iter()
                 .all(|h| h.outgoing.is_none() && h.incoming.is_empty())
+            && self.boundaries.iter().all(|b| {
+                b.out_word.is_none()
+                    && b.in_word.is_none()
+                    && b.out_credits == 0
+                    && b.in_credits == 0
+            })
     }
 
     fn skip(&mut self, cycles: u64) {

@@ -51,6 +51,11 @@ pub struct Router {
     gt_cal: Vec<Ring<GtEvent>>,
     /// Per output: input owning the output for a BE worm.
     be_owner: Vec<Option<usize>>,
+    /// Maintained ready-output bitmask, bit per output with scheduled GT
+    /// emissions (set on calendar push, cleared when the calendar drains).
+    /// Together with the per-emit BE head scan it lets [`Router::emit_into`]
+    /// visit only outputs that can actually emit.
+    gt_mask: u64,
     /// Per output: round-robin pointer.
     rr: Vec<usize>,
     /// Per output: link-level BE credits toward the downstream input queue.
@@ -99,6 +104,7 @@ impl Router {
     /// Panics if `n_ports` is zero or `be_capacity` is zero.
     pub fn new(id: usize, n_ports: usize, be_capacity: usize) -> Self {
         assert!(n_ports > 0, "router needs at least one port");
+        assert!(n_ports <= 64, "ready mask holds at most 64 ports");
         assert!(be_capacity > 0, "BE queues need capacity");
         Router {
             id,
@@ -113,6 +119,7 @@ impl Router {
                 .map(|_| Ring::with_capacity(n_ports * (SLOT_WORDS as usize + 1)))
                 .collect(),
             be_owner: vec![None; n_ports],
+            gt_mask: 0,
             rr: vec![0; n_ports],
             out_credits: vec![0; n_ports], // Noc sets real initial credits per link
             gt_conflicts: 0,
@@ -195,9 +202,39 @@ impl Router {
 
     /// Phase 1 without allocation: clears `result` and fills it (see
     /// [`Router::emit`] for the arbitration rules).
+    ///
+    /// Only *ready* outputs are visited: the maintained GT mask marks
+    /// outputs with scheduled calendar entries, and one pass over the input
+    /// heads marks outputs with a continuing worm or an arbitrable header —
+    /// an idle or lightly loaded router no longer walks every output every
+    /// cycle.
     pub fn emit_into(&mut self, cycle: u64, result: &mut EmitResult) {
         result.clear();
-        for out in 0..self.n_ports {
+        let mut ready = self.gt_mask;
+        for input in 0..self.n_ports {
+            let Some(&head) = self.be_q[input].front() else {
+                continue;
+            };
+            match self.be_route[input] {
+                // A worm mid-flight continues toward its claimed output.
+                Some(out) => ready |= 1 << out,
+                // A header at the head is an arbitration candidate for the
+                // output its path names.
+                None => {
+                    if head.is_header() {
+                        if let Some(next) = Path::peek_encoded(head.word()) {
+                            if usize::from(next) < self.n_ports {
+                                ready |= 1 << next;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut rest = ready;
+        while rest != 0 {
+            let out = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
             // 1. GT words due now win the output unconditionally.
             if let Some(ev) = self.gt_cal[out].front() {
                 debug_assert!(ev.due >= cycle, "GT calendar fell behind");
@@ -208,6 +245,9 @@ impl Router {
                     while self.gt_cal[out].front().is_some_and(|e| e.due == cycle) {
                         self.gt_cal[out].pop_front();
                         self.gt_conflicts += 1;
+                    }
+                    if self.gt_cal[out].is_empty() {
+                        self.gt_mask &= !(1 << out);
                     }
                     result.emissions.push(Emission {
                         port: out as PortIdx,
@@ -317,6 +357,7 @@ impl Router {
                 debug_assert!(cal.back().is_none_or(|e| e.due <= due));
                 cal.push_back(GtEvent { due, word: fwd })
                     .expect("GT calendar bounded by ports x slot lifetime");
+                self.gt_mask |= 1 << out;
             }
             WordClass::BestEffort => {
                 if self.be_q[input].push_back(word).is_err() {
@@ -521,5 +562,30 @@ mod tests {
     #[should_panic(expected = "at least one port")]
     fn zero_ports_panics() {
         let _ = Router::new(0, 0, 8);
+    }
+
+    #[test]
+    fn gt_ready_mask_tracks_calendar() {
+        let mut r = fresh(5);
+        assert_eq!(r.gt_mask, 0, "idle router advertises no ready output");
+        r.absorb(0, gt_header(&[2], true), 0);
+        assert_eq!(r.gt_mask, 1 << 2, "scheduled emission marks its output");
+        let out = r.emit(3).emissions;
+        assert_eq!(out.len(), 1);
+        assert_eq!(r.gt_mask, 0, "drained calendar clears the bit");
+    }
+
+    #[test]
+    fn blocked_worm_stays_ready_until_tail_leaves() {
+        // A worm claims output 2, then its input runs dry mid-worm; the
+        // output must still be visited when the next word arrives.
+        let mut r = fresh(5);
+        r.absorb(0, be_header(&[2, 4], false), 0);
+        assert_eq!(r.emit(1).emissions.len(), 1, "header forwarded");
+        assert!(r.emit(2).emissions.is_empty(), "input dry: nothing to emit");
+        r.absorb(0, LinkWord::payload(9, WordClass::BestEffort, true), 2);
+        let out = r.emit(3).emissions;
+        assert_eq!(out.len(), 1);
+        assert!(out[0].word.is_tail());
     }
 }
