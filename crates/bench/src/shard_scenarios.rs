@@ -2,10 +2,12 @@
 //!
 //! These build `width × height` meshes (one raw NI per router) with
 //! point-to-point BE stream traffic configured **directly** through the
-//! local register files — the 7-hop header limit keeps the runtime
-//! configurator's NI-0-centric config connections off meshes larger than
-//! 4x4, while local configuration (the kernel tests' idiom) has no such
-//! reach limit as long as each *stream's* route fits a header.
+//! local register files (the kernel tests' idiom — cheaper to set up than
+//! driving the runtime configurator for every stream of a big mesh).
+//! Routes use the two-level planner (`Topology::route_any`), so mesh size
+//! and stream distance are free parameters: any pair on any mesh routes,
+//! with headers rewritten at gateway routers where a route exceeds one
+//! header.
 //!
 //! Traffic shapes:
 //!
@@ -23,7 +25,7 @@
 use aethereal_cfg::shard::ShardedSystem;
 use aethereal_cfg::{presets, NocSpec, NocSystem, TopologySpec};
 use aethereal_ni::kernel::regs::CTRL_ENABLE;
-use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, ChanReg, ChannelId};
+use aethereal_ni::kernel::{chan_reg_addr, ext_reg_addr, pack_path_rqid, ChanReg, ChannelId};
 use aethereal_proto::ip::{ClockedWith, RawIp, RawPort};
 use noc_sim::shard::Partition;
 use noc_sim::Topology;
@@ -173,23 +175,29 @@ pub fn stream_mesh(
     let topo = spec.topology.build();
     let mut sys = NocSystem::from_spec(&spec);
     for s in &streams {
-        let fwd = topo.route(s.src, s.dst).expect("stream route fits header");
-        let rev = topo.route(s.dst, s.src).expect("reverse route fits header");
+        let fwd = topo.route_any(s.src, s.dst).expect("any pair routes");
+        let rev = topo.route_any(s.dst, s.src).expect("any pair routes");
         let tx = &mut sys.nis[s.src].kernel;
         tx.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
         tx.reg_write(chan_reg_addr(1, ChanReg::PathRqid), {
-            pack_path_rqid(&fwd, s.rx_channel as u8)
+            pack_path_rqid(fwd.header_segment(), s.rx_channel as u8)
         })
         .unwrap();
+        for (k, w) in fwd.continuation_words().enumerate() {
+            tx.reg_write(ext_reg_addr(1, k), w).unwrap();
+        }
         tx.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE)
             .unwrap();
         let rx = &mut sys.nis[s.dst].kernel;
         rx.reg_write(chan_reg_addr(s.rx_channel, ChanReg::Space), 8)
             .unwrap();
         rx.reg_write(chan_reg_addr(s.rx_channel, ChanReg::PathRqid), {
-            pack_path_rqid(&rev, 1)
+            pack_path_rqid(rev.header_segment(), 1)
         })
         .unwrap();
+        for (k, w) in rev.continuation_words().enumerate() {
+            rx.reg_write(ext_reg_addr(s.rx_channel, k), w).unwrap();
+        }
         rx.reg_write(chan_reg_addr(s.rx_channel, ChanReg::Ctrl), CTRL_ENABLE)
             .unwrap();
     }

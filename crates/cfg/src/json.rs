@@ -248,7 +248,7 @@ const MAX_DEPTH: usize = 128;
 /// # Errors
 ///
 /// Returns [`JsonError`] on malformed input, trailing garbage, or nesting
-/// deeper than [`MAX_DEPTH`].
+/// deeper than the parser's depth bound (`MAX_DEPTH`).
 pub fn parse(input: &str) -> Result<Value, JsonError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;

@@ -38,5 +38,5 @@ pub use report::SystemReport;
 pub use runtime::{ConnectionHandle, ConnectionRequest, RuntimeConfigurator, Service};
 pub use shard::ShardedSystem;
 pub use slots::{SlotAllocation, SlotAllocator, SlotStrategy};
-pub use spec::{NocSpec, TopologySpec};
+pub use spec::{NocSpec, RegionsSpec, TopologySpec};
 pub use system::NocSystem;

@@ -23,10 +23,10 @@
 use crate::slots::{SlotAllocation, SlotAllocator, SlotError, SlotStrategy};
 use crate::system::NocSystem;
 use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
-use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
+use aethereal_ni::kernel::{chan_reg_addr, ext_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
 use aethereal_ni::shell::config::global_addr;
 use aethereal_ni::transaction::{RespStatus, Transaction};
-use noc_sim::Topology;
+use noc_sim::{Route, Topology, SLOT_WORDS};
 use std::collections::HashMap;
 
 /// One end of a connection: a channel of an NI.
@@ -159,6 +159,16 @@ pub enum ConfigError {
     /// The config port has no free channel for another configuration
     /// connection.
     ChannelsExhausted,
+    /// A connection over a multi-segment route whose per-packet word
+    /// budget cannot carry the header, every route-continuation word and
+    /// at least one payload word — raise `max_packet_words`, or (GT)
+    /// reserve a longer consecutive slot run.
+    PacketBudgetTooSmall {
+        /// Words one packet must at least carry (`2 + gateway_count`).
+        needed_words: usize,
+        /// Words the sender's packet budget guarantees.
+        budget_words: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -169,6 +179,17 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Nack(s) => write!(f, "remote CNIP rejected the operation: {s}"),
             ConfigError::ChannelsExhausted => {
                 write!(f, "no free configuration channel at the config port")
+            }
+            ConfigError::PacketBudgetTooSmall {
+                needed_words,
+                budget_words,
+            } => {
+                write!(
+                    f,
+                    "packet budget of {budget_words} words cannot carry a \
+                     {needed_words}-word two-level packet; raise \
+                     max_packet_words or reserve a longer consecutive slot run"
+                )
             }
         }
     }
@@ -282,6 +303,67 @@ impl RuntimeConfigurator {
         Err(ConfigError::Timeout)
     }
 
+    /// Writes the route registers of a channel: `PATH_RQID` with the header
+    /// segment (which also clears any stale `PATH_EXT`), then one
+    /// `PATH_EXT` register per continuation segment. Short routes cost
+    /// exactly the seed's single write.
+    fn write_route(
+        &mut self,
+        sys: &mut NocSystem,
+        target_ni: usize,
+        channel: usize,
+        route: &Route,
+        remote_qid: u8,
+    ) -> Result<(), ConfigError> {
+        self.write(
+            sys,
+            target_ni,
+            chan_reg_addr(channel, ChanReg::PathRqid),
+            pack_path_rqid(route.header_segment(), remote_qid),
+            false,
+        )?;
+        for (k, w) in route.continuation_words().enumerate() {
+            self.write(sys, target_ni, ext_reg_addr(channel, k), w, false)?;
+        }
+        Ok(())
+    }
+
+    /// Rejects service whose per-packet word budget cannot carry a
+    /// two-level packet making forward progress (header + continuation
+    /// words + one payload word). BE packets are bounded by the sender's
+    /// `max_packet_words`; GT packets additionally by the reserved slot
+    /// run.
+    fn budget_check(
+        &self,
+        sys: &NocSystem,
+        sender_ni: usize,
+        route: &Route,
+        service: Service,
+    ) -> Result<(), ConfigError> {
+        if route.is_single() {
+            return Ok(());
+        }
+        let max_packet = sys.nis[sender_ni].kernel.spec().max_packet_words;
+        let budget_words = match service {
+            Service::BestEffort => max_packet,
+            Service::Guaranteed { slots, strategy } => {
+                let run = match strategy {
+                    SlotStrategy::Consecutive => slots,
+                    SlotStrategy::Spread => 1,
+                };
+                usize::min(run * SLOT_WORDS as usize, max_packet)
+            }
+        };
+        let needed_words = 2 + route.gateway_count();
+        if budget_words < needed_words {
+            return Err(ConfigError::PacketBudgetTooSmall {
+                needed_words,
+                budget_words,
+            });
+        }
+        Ok(())
+    }
+
     /// Opens the configuration connection Cfg → `target` CNIP (Fig. 9 steps
     /// 1 and 2). Idempotent.
     ///
@@ -296,6 +378,19 @@ impl RuntimeConfigurator {
         if target == self.cfg_ni || self.bound.contains_key(&target) {
             return Ok(());
         }
+        let p_fwd = self
+            .topo
+            .route_any(self.cfg_ni, target)
+            .expect("route exists");
+        let p_rev = self
+            .topo
+            .route_any(target, self.cfg_ni)
+            .expect("route exists");
+        // Both configuration channels are best-effort message streams;
+        // reject undersized packet budgets here rather than letting the
+        // acknowledged enable write time out on a starved channel.
+        self.budget_check(sys, self.cfg_ni, &p_fwd, Service::BestEffort)?;
+        self.budget_check(sys, target, &p_rev, Service::BestEffort)?;
         let stack = sys.nis[self.cfg_ni].config_mut(self.cfg_port);
         let locals = stack.channels().len();
         if self.next_local >= locals {
@@ -304,8 +399,6 @@ impl RuntimeConfigurator {
         let local = self.next_local;
         let cfg_channel = stack.channels()[local];
         self.next_local += 1;
-        let p_fwd = self.topo.route(self.cfg_ni, target).expect("route exists");
-        let p_rev = self.topo.route(target, self.cfg_ni).expect("route exists");
         let target_cnip = sys.nis[target]
             .kernel
             .spec()
@@ -323,13 +416,7 @@ impl RuntimeConfigurator {
             cnip_space,
             false,
         )?;
-        self.write(
-            sys,
-            self.cfg_ni,
-            chan_reg_addr(cfg_channel, ChanReg::PathRqid),
-            pack_path_rqid(&p_fwd, target_cnip as u8),
-            false,
-        )?;
+        self.write_route(sys, self.cfg_ni, cfg_channel, &p_fwd, target_cnip as u8)?;
         self.write(
             sys,
             self.cfg_ni,
@@ -350,13 +437,7 @@ impl RuntimeConfigurator {
             cfg_space,
             false,
         )?;
-        self.write(
-            sys,
-            target,
-            chan_reg_addr(target_cnip, ChanReg::PathRqid),
-            pack_path_rqid(&p_rev, cfg_channel as u8),
-            false,
-        )?;
+        self.write_route(sys, target, target_cnip, &p_rev, cfg_channel as u8)?;
         self.write(
             sys,
             target,
@@ -376,7 +457,7 @@ impl RuntimeConfigurator {
         &mut self,
         sys: &mut NocSystem,
         end: ChannelEnd,
-        path: &noc_sim::Path,
+        route: &Route,
         remote_qid: u8,
         space: u32,
         service: Service,
@@ -394,13 +475,7 @@ impl RuntimeConfigurator {
             space,
             false,
         )?;
-        self.write(
-            sys,
-            end.ni,
-            chan_reg_addr(end.channel, ChanReg::PathRqid),
-            pack_path_rqid(path, remote_qid),
-            false,
-        )?;
+        self.write_route(sys, end.ni, end.channel, route, remote_qid)?;
         if is_master_end {
             self.write(
                 sys,
@@ -446,27 +521,33 @@ impl RuntimeConfigurator {
         self.open_config_connection(sys, req.slave.ni)?;
         let p_req = self
             .topo
-            .route(req.master.ni, req.slave.ni)
+            .route_any(req.master.ni, req.slave.ni)
             .expect("route exists");
         let p_resp = self
             .topo
-            .route(req.slave.ni, req.master.ni)
+            .route_any(req.slave.ni, req.master.ni)
             .expect("route exists");
+        self.budget_check(sys, req.master.ni, &p_req, req.fwd)?;
+        self.budget_check(sys, req.slave.ni, &p_resp, req.rev)?;
         let fwd_alloc = match req.fwd {
-            Service::Guaranteed { slots, strategy } => {
-                Some(
-                    self.allocator
-                        .allocate(&self.topo, req.master.ni, &p_req, slots, strategy)?,
-                )
-            }
+            Service::Guaranteed { slots, strategy } => Some(self.allocator.allocate_route(
+                &self.topo,
+                req.master.ni,
+                &p_req,
+                slots,
+                strategy,
+            )?),
             Service::BestEffort => None,
         };
         let rev_alloc = match req.rev {
             Service::Guaranteed { slots, strategy } => {
-                match self
-                    .allocator
-                    .allocate(&self.topo, req.slave.ni, &p_resp, slots, strategy)
-                {
+                match self.allocator.allocate_route(
+                    &self.topo,
+                    req.slave.ni,
+                    &p_resp,
+                    slots,
+                    strategy,
+                ) {
                     Ok(a) => Some(a),
                     Err(e) => {
                         if let Some(f) = &fwd_alloc {

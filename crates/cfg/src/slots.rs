@@ -13,8 +13,17 @@
 //! largest gap between reserved slots, so [`SlotStrategy::Spread`] places
 //! slots as evenly as possible, while [`SlotStrategy::Consecutive`] favours
 //! long multi-flit packets (lower header overhead).
+//!
+//! **Two-level routes** ([`noc_sim::Route`]): every gateway rewrite delays
+//! the packet by one cycle, so downstream of `g` rewrites the words of a
+//! connection injected in slot `s` occupy slot `s + h + g/3` — and spill
+//! one cycle into the *next* slot whenever `g` is not a whole number of
+//! slots (`g mod 3 ≠ 0`). [`SlotAllocator::allocate_route`] reserves both
+//! affected slots on such links, keeping the router-level contention check
+//! (`gt_conflicts == 0`) exact at the price of one conservative extra slot
+//! per partially-shifted link.
 
-use noc_sim::{NiId, Path, PortIdx, Topology};
+use noc_sim::{NiId, Path, PortIdx, Route, Topology, SLOT_WORDS};
 use std::collections::HashMap;
 
 /// A directed link for slot bookkeeping: `(router, output port)`, with the
@@ -132,16 +141,34 @@ impl SlotAllocator {
             .map_or(0, |m| m.count_ones() as usize)
     }
 
-    fn links_of(topo: &Topology, from: NiId, path: &Path) -> Vec<LinkKey> {
+    fn links_of(topo: &Topology, from: NiId, path: &Path) -> Vec<(LinkKey, u32)> {
         topo.links_of_route(from, path)
+            .into_iter()
+            .map(|link| (link, 0))
+            .collect()
     }
 
-    fn injection_slot_feasible(&self, links: &[LinkKey], s: usize) -> bool {
-        links.iter().enumerate().all(|(h, link)| {
-            let slot = (s + h) % self.stu_slots;
-            self.occupancy
-                .get(link)
-                .is_none_or(|m| m & (1 << slot) == 0)
+    /// The slots a word injected in slot `s` can occupy on the link at hop
+    /// `h` after `g` gateway rewrites: the shifted base slot, plus the next
+    /// slot when the accumulated delay is a fraction of a slot.
+    fn slots_on_link(&self, s: usize, h: usize, g: u32) -> (usize, Option<usize>) {
+        let base = (s + h + (g as u64 / SLOT_WORDS) as usize) % self.stu_slots;
+        if u64::from(g) % SLOT_WORDS == 0 {
+            (base, None)
+        } else {
+            (base, Some((base + 1) % self.stu_slots))
+        }
+    }
+
+    fn injection_slot_feasible(&self, links: &[(LinkKey, u32)], s: usize) -> bool {
+        links.iter().enumerate().all(|(h, &(link, g))| {
+            let free = |slot: usize| {
+                self.occupancy
+                    .get(&link)
+                    .is_none_or(|m| m & (1 << slot) == 0)
+            };
+            let (base, spill) = self.slots_on_link(s, h, g);
+            free(base) && spill.is_none_or(free)
         })
     }
 
@@ -159,8 +186,40 @@ impl SlotAllocator {
         n_slots: usize,
         strategy: SlotStrategy,
     ) -> Result<SlotAllocation, SlotError> {
+        self.allocate_links(Self::links_of(topo, from, path), n_slots, strategy)
+    }
+
+    /// Reserves `n_slots` slots for a GT connection from NI `from` along a
+    /// (possibly multi-segment) `route`, absorbing the one-cycle delay of
+    /// every gateway rewrite (see the module docs). For single-segment
+    /// routes this is exactly [`SlotAllocator::allocate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SlotError`]. On error nothing is reserved.
+    pub fn allocate_route(
+        &mut self,
+        topo: &Topology,
+        from: NiId,
+        route: &Route,
+        n_slots: usize,
+        strategy: SlotStrategy,
+    ) -> Result<SlotAllocation, SlotError> {
+        let links = topo
+            .links_of_route_segmented(from, route)
+            .into_iter()
+            .map(|l| ((l.router, l.port), l.gateways_before))
+            .collect();
+        self.allocate_links(links, n_slots, strategy)
+    }
+
+    fn allocate_links(
+        &mut self,
+        links: Vec<(LinkKey, u32)>,
+        n_slots: usize,
+        strategy: SlotStrategy,
+    ) -> Result<SlotAllocation, SlotError> {
         assert!(n_slots >= 1, "a GT connection needs at least one slot");
-        let links = Self::links_of(topo, from, path);
         let feasible: Vec<usize> = (0..self.stu_slots)
             .filter(|&s| self.injection_slot_feasible(&links, s))
             .collect();
@@ -192,10 +251,14 @@ impl SlotAllocator {
         };
         let mut reserved = Vec::new();
         for &s in &chosen {
-            for (h, &link) in links.iter().enumerate() {
-                let slot = (s + h) % self.stu_slots;
-                *self.occupancy.entry(link).or_insert(0) |= 1 << slot;
-                reserved.push((link, slot));
+            for (h, &(link, g)) in links.iter().enumerate() {
+                let (base, spill) = self.slots_on_link(s, h, g);
+                *self.occupancy.entry(link).or_insert(0) |= 1 << base;
+                reserved.push((link, base));
+                if let Some(next) = spill {
+                    *self.occupancy.entry(link).or_insert(0) |= 1 << next;
+                    reserved.push((link, next));
+                }
             }
         }
         Ok(SlotAllocation {
@@ -333,6 +396,65 @@ mod tests {
             reserved: vec![],
         };
         assert_eq!(b.max_gap(8), 8, "single slot: full-period gap");
+    }
+
+    #[test]
+    fn allocate_route_single_segment_matches_allocate() {
+        let (topo, mut a1) = setup();
+        let mut a2 = SlotAllocator::new(8);
+        let path = topo.route(0, 3).unwrap();
+        let route = topo.route_any(0, 3).unwrap();
+        let r1 = a1
+            .allocate(&topo, 0, &path, 3, SlotStrategy::Spread)
+            .unwrap();
+        let r2 = a2
+            .allocate_route(&topo, 0, &route, 3, SlotStrategy::Spread)
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn allocate_route_reserves_spill_slot_after_gateway() {
+        let topo = Topology::mesh(8, 8, 1);
+        let mut alloc = SlotAllocator::new(8);
+        let route = topo.route_any(0, 63).unwrap(); // segments 7 E, 7 S, eject
+        let a = alloc
+            .allocate_route(&topo, 0, &route, 1, SlotStrategy::Spread)
+            .unwrap();
+        assert_eq!(a.injection_slots.len(), 1);
+        // Before the first gateway (router 7): exactly one slot per link.
+        assert_eq!(alloc.reserved_on((0, noc_sim::topology::dir::EAST)), 1);
+        // After one gateway rewrite the packet is one cycle late: base +
+        // spill slot on the first southbound link.
+        assert_eq!(alloc.reserved_on((7, noc_sim::topology::dir::SOUTH)), 2);
+        alloc.free(&a);
+        assert_eq!(alloc.reserved_on((7, noc_sim::topology::dir::SOUTH)), 0);
+    }
+
+    #[test]
+    fn gateway_shifted_connections_stay_disjoint() {
+        // Two connections sharing the southbound column-7 links, one of
+        // them beyond its gateway: the allocator must keep every (link,
+        // slot) pair single-owner, including the spill slots.
+        let topo = Topology::mesh(8, 8, 1);
+        let mut alloc = SlotAllocator::new(8);
+        let long = topo.route_any(0, 63).unwrap();
+        let short = topo.route_any(15, 63).unwrap(); // straight down col 7
+        let a = alloc
+            .allocate_route(&topo, 0, &long, 2, SlotStrategy::Spread)
+            .unwrap();
+        let b = alloc
+            .allocate_route(&topo, 15, &short, 2, SlotStrategy::Spread)
+            .unwrap();
+        // Within one allocation duplicates are legal (the spill of lane s
+        // meeting lane s+1 of the same connection); across allocations they
+        // are not.
+        for (link, slot) in &a.reserved {
+            assert!(
+                !b.reserved.contains(&(*link, *slot)),
+                "slot {slot} on link {link:?} double-booked"
+            );
+        }
     }
 
     #[test]

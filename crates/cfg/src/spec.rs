@@ -6,7 +6,7 @@
 //! topology, per-NI port/channel/queue geometry, shells per port — and
 //! "generates" a runnable [`NocSystem`](crate::NocSystem) instead of VHDL.
 //! [`NocSpec::to_json`] / [`NocSpec::from_json`] persist it as JSON (via
-//! the in-tree [`json`](crate::json) layer), round-trip tested in `tests/`.
+//! the in-tree [`json`] layer), round-trip tested in `tests/`.
 
 use crate::json::{self, JsonError, Value};
 use aethereal_ni::kernel::{ArbPolicy, NiKernelSpec, PortSpec};
@@ -14,7 +14,8 @@ use aethereal_ni::message::Ordering;
 use aethereal_ni::ni::{NiSpec, PortStackSpec};
 use aethereal_ni::shell::{AddrRange, ConnSelect};
 use noc_sim::shard::{Partition, PartitionError};
-use noc_sim::{NocConfig, Topology};
+use noc_sim::topology::RegionError;
+use noc_sim::{NocConfig, Regions, Topology};
 
 /// Topology description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +60,39 @@ impl TopologySpec {
             TopologySpec::Ring { routers } => routers,
         }
     }
+
+    /// Number of routers the topology provides.
+    pub fn router_count(&self) -> usize {
+        match *self {
+            TopologySpec::Mesh { width, height, .. } => width * height,
+            TopologySpec::Ring { routers } => routers,
+        }
+    }
+}
+
+/// Declarative region/gateway grouping for two-level routing (the
+/// serialized form of [`noc_sim::Regions`]): long routes split at the
+/// declared gateway routers when they lie on the minimal path, so header
+/// rewrites align with, e.g., the execution [`partition`](NocSpec::partition)
+/// of a large mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionsSpec {
+    /// `router_regions[router] = region id` (dense ids, every region
+    /// non-empty).
+    pub router_regions: Vec<usize>,
+    /// `gateways[region] = router id`, each inside its own region.
+    pub gateways: Vec<usize>,
+}
+
+impl RegionsSpec {
+    /// Validates and builds the runtime [`Regions`] value.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegionError`].
+    pub fn build(&self) -> Result<Regions, RegionError> {
+        Regions::new(self.router_regions.clone(), self.gateways.clone())
+    }
 }
 
 /// A complete design-time NoC description.
@@ -74,6 +108,9 @@ pub struct NocSpec {
     /// boundaries for sharded simulation (see
     /// [`ShardedSystem`](crate::ShardedSystem)). `None` runs single-region.
     pub partition: Option<Vec<usize>>,
+    /// Optional region/gateway declaration steering where routes longer
+    /// than one header split (two-level routing). `None` splits greedily.
+    pub regions: Option<RegionsSpec>,
 }
 
 /// Spec validation errors.
@@ -98,6 +135,15 @@ pub enum SpecError {
     /// inter-router link, which the router → shard map guarantees only
     /// when it covers exactly the topology's routers.
     Partition(PartitionError),
+    /// The region declaration is internally inconsistent.
+    Regions(RegionError),
+    /// The region map does not cover exactly the topology's routers.
+    RegionCoverage {
+        /// Routers in the topology.
+        routers: usize,
+        /// Routers covered by the region map.
+        mapped: usize,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -113,6 +159,13 @@ impl std::fmt::Display for SpecError {
                 write!(f, "NI at position {index} declares id {declared}")
             }
             SpecError::Partition(e) => write!(f, "invalid partition: {e}"),
+            SpecError::Regions(e) => write!(f, "invalid regions: {e}"),
+            SpecError::RegionCoverage { routers, mapped } => {
+                write!(
+                    f,
+                    "region map covers {mapped} routers but the topology has {routers}"
+                )
+            }
         }
     }
 }
@@ -120,13 +173,15 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 impl NocSpec {
-    /// Creates a spec with default router queues and no partitioning.
+    /// Creates a spec with default router queues, no partitioning and no
+    /// regions.
     pub fn new(topology: TopologySpec, nis: Vec<NiSpec>) -> Self {
         NocSpec {
             topology,
             nis,
             be_queue_words: 8,
             partition: None,
+            regions: None,
         }
     }
 
@@ -134,6 +189,46 @@ impl NocSpec {
     pub fn with_partition(mut self, partition: Vec<usize>) -> Self {
         self.partition = Some(partition);
         self
+    }
+
+    /// Sets the region/gateway declaration for two-level routing.
+    pub fn with_regions(mut self, regions: RegionsSpec) -> Self {
+        self.regions = Some(regions);
+        self
+    }
+
+    /// The validated region declaration, if one is specified.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError::Regions`] and [`SpecError::RegionCoverage`].
+    pub fn build_regions(&self) -> Result<Option<Regions>, SpecError> {
+        let Some(spec) = &self.regions else {
+            return Ok(None);
+        };
+        let routers = self.topology.router_count();
+        if spec.router_regions.len() != routers {
+            return Err(SpecError::RegionCoverage {
+                routers,
+                mapped: spec.router_regions.len(),
+            });
+        }
+        spec.build().map(Some).map_err(SpecError::Regions)
+    }
+
+    /// Builds the topology with any declared regions attached — the
+    /// topology value route planners should use (plain
+    /// [`TopologySpec::build`] ignores regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn build_topology(&self) -> Topology {
+        let topo = self.topology.build();
+        match self.build_regions().expect("invalid regions in NoC spec") {
+            Some(regions) => topo.with_regions(regions),
+            None => topo,
+        }
     }
 
     /// The validated execution partition, if one is specified.
@@ -176,6 +271,7 @@ impl NocSpec {
             }
         }
         self.build_partition()?;
+        self.build_regions()?;
         Ok(())
     }
 
@@ -223,6 +319,27 @@ impl NocSpec {
                     None => Value::Null,
                 },
             ),
+            (
+                "regions",
+                match &self.regions {
+                    Some(r) => Value::obj(vec![
+                        (
+                            "router_regions",
+                            Value::Arr(
+                                r.router_regions
+                                    .iter()
+                                    .map(|&v| Value::Num(v as u64))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "gateways",
+                            Value::Arr(r.gateways.iter().map(|&v| Value::Num(v as u64)).collect()),
+                        ),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -245,6 +362,24 @@ impl NocSpec {
                         .map(Value::as_usize)
                         .collect::<Result<_, _>>()?,
                 ),
+            },
+            // Absent in pre-two-level-routing spec files: greedy splits.
+            regions: match v.get_opt("regions") {
+                None | Some(Value::Null) => None,
+                Some(r) => Some(RegionsSpec {
+                    router_regions: r
+                        .get("router_regions")?
+                        .as_arr()?
+                        .iter()
+                        .map(Value::as_usize)
+                        .collect::<Result<_, _>>()?,
+                    gateways: r
+                        .get("gateways")?
+                        .as_arr()?
+                        .iter()
+                        .map(Value::as_usize)
+                        .collect::<Result<_, _>>()?,
+                }),
             },
         })
     }
@@ -580,6 +715,50 @@ mod tests {
         assert!(!old.contains("partition"), "field stripped: {old}");
         let parsed = NocSpec::from_json(&old).expect("old files parse");
         assert_eq!(parsed.partition, None);
+    }
+
+    #[test]
+    fn regions_roundtrip_and_validate() {
+        let spec = small_spec().with_regions(RegionsSpec {
+            router_regions: vec![0, 1],
+            gateways: vec![0, 1],
+        });
+        assert_eq!(spec.validate(), Ok(()));
+        let json = spec.to_json().expect("serializes");
+        assert!(json.contains("router_regions"));
+        let back = NocSpec::from_json(&json).expect("parses");
+        assert_eq!(back, spec);
+        // The built topology carries the regions for route planning.
+        let topo = back.build_topology();
+        assert!(topo.regions().is_some());
+        assert_eq!(topo.regions().unwrap().region_count(), 2);
+        // A pre-regions file (no regions field) still parses.
+        let old = small_spec()
+            .to_json()
+            .unwrap()
+            .replace(",\n  \"regions\": null", "");
+        let parsed = NocSpec::from_json(&old).expect("old files parse");
+        assert_eq!(parsed.regions, None);
+    }
+
+    #[test]
+    fn bad_regions_rejected() {
+        let wrong_len = small_spec().with_regions(RegionsSpec {
+            router_regions: vec![0],
+            gateways: vec![0],
+        });
+        assert_eq!(
+            wrong_len.validate(),
+            Err(SpecError::RegionCoverage {
+                routers: 2,
+                mapped: 1
+            })
+        );
+        let bad_gateway = small_spec().with_regions(RegionsSpec {
+            router_regions: vec![0, 1],
+            gateways: vec![0, 0],
+        });
+        assert!(matches!(bad_gateway.validate(), Err(SpecError::Regions(_))));
     }
 
     #[test]

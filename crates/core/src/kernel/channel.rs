@@ -41,6 +41,11 @@ pub struct Channel {
     /// Packed PATH (bits 20..0) + remote qid (bits 25..21), as written to
     /// the `PATH_RQID` register.
     pub(crate) path_rqid: u32,
+    /// `PATH_EXT` registers: continuation route segments (bits 20..0 each)
+    /// emitted as continuation words behind the header; the all-terminator
+    /// encoding marks an unused register. Cleared by every `PATH_RQID`
+    /// write.
+    pub(crate) path_ext: [u32; crate::kernel::regs::PATH_EXT_REGS],
     pub(crate) data_threshold: u32,
     pub(crate) credit_threshold: u32,
     /// Remote destination-queue space (decremented on send, refilled by
@@ -71,6 +76,7 @@ impl Channel {
             // PATH_RQID is configured, which keeps it ineligible (a packet
             // with no route would head-block a router queue forever).
             path_rqid: noc_sim::Path::empty().encode(),
+            path_ext: [noc_sim::Path::empty().encode(); crate::kernel::regs::PATH_EXT_REGS],
             data_threshold: 0,
             credit_threshold: 0,
             space: 0,
@@ -147,6 +153,20 @@ impl Channel {
     pub(crate) fn remote_qid(&self) -> u8 {
         ((self.path_rqid >> noc_sim::path::PATH_BITS) & ((1 << noc_sim::header::QID_BITS) - 1))
             as u8
+    }
+
+    /// Continuation segments configured after the header path: the prefix
+    /// of `PATH_EXT` registers holding a non-empty route segment.
+    pub(crate) fn ext_count(&self) -> usize {
+        self.path_ext
+            .iter()
+            .position(|&v| noc_sim::Path::peek_encoded(v).is_none())
+            .unwrap_or(self.path_ext.len())
+    }
+
+    /// The encoded continuation word for segment `k + 1` (path bits only).
+    pub(crate) fn ext_bits(&self, k: usize) -> u32 {
+        self.path_ext[k] & ((1 << noc_sim::path::PATH_BITS) - 1)
     }
 
     /// Words that may be sent right now: `min(visible queue filling, space)`

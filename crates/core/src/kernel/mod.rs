@@ -23,7 +23,9 @@ pub mod regs;
 pub mod sched;
 
 pub use channel::{Channel, ChannelId, ChannelStats};
-pub use regs::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg, RegError};
+pub use regs::{
+    chan_reg_addr, ext_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg, RegError, PATH_EXT_REGS,
+};
 pub use sched::ArbPolicy;
 
 use crate::fifo::{FifoFullError, DEFAULT_CROSSING_CYCLES};
@@ -137,6 +139,9 @@ pub struct NiKernelStats {
     pub header_words_tx: u64,
     /// Payload words sent.
     pub payload_words_tx: u64,
+    /// Route-continuation words sent (two-level routing overhead; consumed
+    /// by gateway routers, never delivered).
+    pub route_ext_words_tx: u64,
     /// Credit-only packets sent.
     pub credit_only_tx: u64,
     /// GT slots that passed unused although reserved (owner not eligible).
@@ -355,10 +360,23 @@ impl NiKernel {
                         c.enabled = enable;
                     }
                     ChanReg::Space => c.space = value,
-                    ChanReg::PathRqid => c.path_rqid = value,
+                    ChanReg::PathRqid => {
+                        c.path_rqid = value;
+                        // A new base route invalidates any continuation
+                        // segments, so a reconfigured channel can never leak
+                        // a stale PATH_EXT; write PATH_EXT after PATH_RQID.
+                        c.path_ext = [Path::empty().encode(); regs::PATH_EXT_REGS];
+                    }
                     ChanReg::DataThreshold => c.data_threshold = value,
                     ChanReg::CreditThreshold => c.credit_threshold = value,
                 }
+                Ok(())
+            }
+            RegAddr::ChanExt(ch, k) => {
+                if value >= (1 << noc_sim::path::PATH_BITS) {
+                    return Err(RegError::BadValue { addr, value });
+                }
+                self.channels[ch].path_ext[k] = value;
                 Ok(())
             }
         }
@@ -385,6 +403,7 @@ impl NiKernel {
                     ChanReg::CreditThreshold => c.credit_threshold,
                 })
             }
+            RegAddr::ChanExt(ch, k) => Ok(self.channels[ch].path_ext[k]),
         }
     }
 
@@ -487,6 +506,18 @@ impl NiKernel {
         }
     }
 
+    /// Whether a packet of `budget_words` can make forward progress on
+    /// `ch` given its route-continuation overhead: a data-bearing packet
+    /// needs header + continuations + at least one payload word; a
+    /// credit-only packet needs header + continuations. Channels over
+    /// multi-segment routes that fail this would emit useless packets
+    /// forever (or oversized ones), so their build is skipped instead.
+    fn packet_fits(&self, ch: ChannelId, budget_words: usize, now: u64) -> bool {
+        let c = &self.channels[ch];
+        let needed = 1 + c.ext_count() + usize::from(c.data_eligible(now));
+        budget_words >= needed
+    }
+
     /// Number of consecutive slots starting at `slot` reserved for `ch`
     /// (wrapping, capped at the table size).
     fn slot_run(&self, ch: ChannelId, slot: usize) -> usize {
@@ -507,20 +538,33 @@ impl NiKernel {
                 if c.enabled && c.gt && c.eligible(cycle) {
                     let run = self.slot_run(ch, slot);
                     let budget = usize::min(run * SLOT_WORDS as usize, self.spec.max_packet_words);
-                    let mut q = std::mem::take(&mut self.tx_gt);
-                    self.build_packet_into(ch, WordClass::Guaranteed, budget, cycle, &mut q);
-                    self.tx_gt = q;
+                    // A multi-segment route needs header + continuation
+                    // words (+ one payload word when data is pending)
+                    // inside the reserved run; a too-short run passes
+                    // unused (allocate a consecutive run covering at least
+                    // `2 + gateway_count` words for such connections).
+                    if self.packet_fits(ch, budget, cycle) {
+                        let mut q = std::mem::take(&mut self.tx_gt);
+                        self.build_packet_into(ch, WordClass::Guaranteed, budget, cycle, &mut q);
+                        self.tx_gt = q;
+                    } else {
+                        self.stats.gt_slots_unused += 1;
+                    }
                 } else {
                     self.stats.gt_slots_unused += 1;
                 }
             }
         }
-        // BE: arbitrate among eligible BE channels.
+        // BE: arbitrate among eligible BE channels (whose packets can make
+        // progress within the packet-length limit — see `packet_fits`).
         if self.tx_be.is_empty() {
             let eligible: Vec<usize> = (0..self.channels.len())
                 .filter(|&ch| {
                     let c = &self.channels[ch];
-                    c.enabled && !c.gt && c.eligible(cycle)
+                    c.enabled
+                        && !c.gt
+                        && c.eligible(cycle)
+                        && self.packet_fits(ch, self.spec.max_packet_words, cycle)
                 })
                 .collect();
             let sendables: Vec<usize> = (0..self.channels.len())
@@ -541,9 +585,11 @@ impl NiKernel {
     }
 
     /// Builds one packet for `ch`: a header carrying the largest possible
-    /// credit return plus as much sendable data as the budget allows (§4.1:
-    /// "once a queue is selected, a packet containing the largest possible
-    /// amount of credits and data will be produced").
+    /// credit return, any route-continuation words of a multi-segment
+    /// route (consumed en route by gateway routers), plus as much sendable
+    /// data as the budget allows (§4.1: "once a queue is selected, a packet
+    /// containing the largest possible amount of credits and data will be
+    /// produced").
     fn build_packet_into(
         &mut self,
         ch: ChannelId,
@@ -554,9 +600,10 @@ impl NiKernel {
     ) {
         debug_assert!(words.is_empty(), "packetizer must be idle");
         let c = &mut self.channels[ch];
+        let ext = c.ext_count();
         let credits = u32::min(c.credit_counter, MAX_HEADER_CREDITS);
         let payload = if c.data_eligible(now) {
-            usize::min(c.sendable(now), budget_words.saturating_sub(1))
+            usize::min(c.sendable(now), budget_words.saturating_sub(1 + ext))
         } else {
             0
         };
@@ -576,14 +623,22 @@ impl NiKernel {
         self.stats.packets_tx[class.index()] += 1;
         self.stats.header_words_tx += 1;
         self.stats.payload_words_tx += payload as u64;
+        self.stats.route_ext_words_tx += ext as u64;
         if payload == 0 {
             self.stats.credit_only_tx += 1;
             c.stats.credit_only_tx += 1;
         }
-        if payload == 0 {
+        if payload == 0 && ext == 0 {
             words.push_back(LinkWord::header_only(header.pack(), class));
         } else {
             words.push_back(LinkWord::header(header.pack(), class));
+            for k in 0..ext {
+                words.push_back(LinkWord::payload(
+                    c.ext_bits(k),
+                    class,
+                    payload == 0 && k + 1 == ext,
+                ));
+            }
             for i in 0..payload {
                 let w = c.src_q.pop(now).expect("sendable counted visible words");
                 words.push_back(LinkWord::payload(w, class, i + 1 == payload));
@@ -751,6 +806,201 @@ mod tests {
         assert_eq!(noc.gt_conflicts(), 0);
         assert!(k0.stats().packets_tx[WordClass::Guaranteed.index()] > 0);
         assert_eq!(k0.stats().packets_tx[WordClass::BestEffort.index()], 0);
+    }
+
+    /// Two reference NIs on opposite corners of an 8x8 mesh: the route (15
+    /// hops) needs two gateway rewrites, configured through `PATH_RQID` +
+    /// `PATH_EXT`.
+    fn corner_setup(gt: bool) -> (Noc, NiKernel, NiKernel) {
+        let topo = Topology::mesh(8, 8, 1);
+        let noc = Noc::new(&topo);
+        let mut k0 = NiKernel::new(NiKernelSpec::reference(0));
+        let mut k1 = NiKernel::new(NiKernelSpec::reference(63));
+        let ctrl = CTRL_ENABLE | if gt { CTRL_GT } else { 0 };
+        for (k, src, dst) in [(&mut k0, 0usize, 63usize), (&mut k1, 63, 0)] {
+            let route = topo.route_any(src, dst).unwrap();
+            assert_eq!(route.gateway_count(), 2);
+            k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), ctrl).unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+            k.reg_write(
+                chan_reg_addr(1, ChanReg::PathRqid),
+                pack_path_rqid(route.header_segment(), 1),
+            )
+            .unwrap();
+            for (i, w) in route.continuation_words().enumerate() {
+                k.reg_write(ext_reg_addr(1, i), w).unwrap();
+            }
+        }
+        if gt {
+            // Consecutive 2-slot runs: 6-word packets = header + 2
+            // continuations + 3 payload words. Disjoint by ≥ route length
+            // in slots on every shared link (no link is actually shared
+            // between the two opposite diagonal directions here).
+            for s in 0..2 {
+                k0.reg_write(slot_reg_addr(s), 2).unwrap();
+                k1.reg_write(slot_reg_addr(4 + s), 2).unwrap();
+            }
+        }
+        (noc, k0, k1)
+    }
+
+    fn run_corner(noc: &mut Noc, k0: &mut NiKernel, k1: &mut NiKernel, cycles: u64) {
+        for _ in 0..cycles {
+            let cycle = noc.cycle();
+            {
+                let link = noc.ni_link_mut(0);
+                k0.tick(link, cycle);
+            }
+            {
+                let link = noc.ni_link_mut(63);
+                k1.tick(link, cycle);
+            }
+            noc.tick();
+        }
+    }
+
+    #[test]
+    fn be_transfer_across_8x8_corners() {
+        let (mut noc, mut k0, mut k1) = corner_setup(false);
+        for w in 0..6u32 {
+            k0.push_src(1, 500 + w, 0).unwrap();
+        }
+        run_corner(&mut noc, &mut k0, &mut k1, 400);
+        let mut got = Vec::new();
+        while let Some(w) = k1.pop_dst(1, noc.cycle()) {
+            got.push(w);
+        }
+        assert_eq!(got, vec![500, 501, 502, 503, 504, 505]);
+        assert_eq!(k1.stats().rx_drops, 0);
+        assert_eq!(noc.be_overflows(), 0);
+        assert!(k0.stats().route_ext_words_tx >= 2);
+        // End-to-end credits flowed back over the equally-long reverse
+        // route: space recovered fully.
+        run_corner(&mut noc, &mut k0, &mut k1, 400);
+        assert_eq!(k0.channel(1).space(), 8);
+    }
+
+    #[test]
+    fn gt_transfer_across_8x8_corners() {
+        let (mut noc, mut k0, mut k1) = corner_setup(true);
+        for w in 0..6u32 {
+            k0.push_src(1, 700 + w, 0).unwrap();
+        }
+        run_corner(&mut noc, &mut k0, &mut k1, 600);
+        let mut got = Vec::new();
+        while let Some(w) = k1.pop_dst(1, noc.cycle()) {
+            got.push(w);
+        }
+        assert_eq!(got, vec![700, 701, 702, 703, 704, 705]);
+        assert_eq!(noc.gt_conflicts(), 0);
+        assert_eq!(k1.stats().rx_drops, 0);
+        assert!(k0.stats().packets_tx[WordClass::Guaranteed.index()] > 0);
+    }
+
+    #[test]
+    fn path_rqid_write_clears_ext_registers() {
+        let mut k = NiKernel::new(NiKernelSpec::reference(0));
+        let seg = noc_sim::Path::new(&[1, 1, 1]).unwrap();
+        k.reg_write(ext_reg_addr(1, 0), seg.encode()).unwrap();
+        assert_eq!(k.reg_read(ext_reg_addr(1, 0)).unwrap(), seg.encode());
+        assert_eq!(k.channel(1).ext_count(), 1);
+        k.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(&seg, 0))
+            .unwrap();
+        assert_eq!(k.channel(1).ext_count(), 0, "PATH_RQID write clears ext");
+        assert_eq!(
+            k.reg_read(ext_reg_addr(1, 0)).unwrap(),
+            noc_sim::Path::empty().encode()
+        );
+    }
+
+    #[test]
+    fn ext_register_value_must_fit_path_bits() {
+        let mut k = NiKernel::new(NiKernelSpec::reference(0));
+        assert!(matches!(
+            k.reg_write(ext_reg_addr(0, 0), 1 << noc_sim::path::PATH_BITS),
+            Err(RegError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn gt_slot_run_too_short_for_continuations_passes_unused() {
+        // Route with 2 continuations but only single-slot runs: the channel
+        // can never fit header + continuations in 3 words... it can (3 = 1
+        // + 2) but with zero payload; a budget of exactly ext words would
+        // not even fit the header and must pass the slot unused.
+        let topo = Topology::mesh(8, 8, 1);
+        let mut k = NiKernel::new(NiKernelSpec {
+            max_packet_words: 2, // degenerate: header + 1 word only
+            ..NiKernelSpec::reference(0)
+        });
+        let route = topo.route_any(0, 63).unwrap();
+        k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE | CTRL_GT)
+            .unwrap();
+        k.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+        k.reg_write(
+            chan_reg_addr(1, ChanReg::PathRqid),
+            pack_path_rqid(route.header_segment(), 1),
+        )
+        .unwrap();
+        for (i, w) in route.continuation_words().enumerate() {
+            k.reg_write(ext_reg_addr(1, i), w).unwrap();
+        }
+        k.reg_write(slot_reg_addr(0), 2).unwrap();
+        k.push_src(1, 1, 0).unwrap();
+        let noc = Noc::new(&topo);
+        let mut noc = noc;
+        let before = k.stats().gt_slots_unused;
+        for _ in 0..24 {
+            let cycle = noc.cycle();
+            let link = noc.ni_link_mut(0);
+            k.tick(link, cycle);
+            noc.tick();
+        }
+        assert!(k.stats().gt_slots_unused > before, "slot passes unused");
+        assert_eq!(
+            k.stats().packets_tx[WordClass::Guaranteed.index()],
+            0,
+            "no packet that cannot carry its continuations is emitted"
+        );
+    }
+
+    #[test]
+    fn be_channel_whose_route_overflows_max_packet_is_skipped() {
+        // max_packet_words = 3 but the route needs header + 2 continuations
+        // + payload = 4 words for data progress: the channel must not spin
+        // emitting zero-payload packets (or oversized ones) forever.
+        let topo = Topology::mesh(8, 8, 1);
+        let route = topo.route_any(0, 63).unwrap();
+        assert_eq!(route.gateway_count(), 2);
+        let mut k = NiKernel::new(NiKernelSpec {
+            max_packet_words: 3,
+            ..NiKernelSpec::reference(0)
+        });
+        k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE)
+            .unwrap();
+        k.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+        k.reg_write(
+            chan_reg_addr(1, ChanReg::PathRqid),
+            pack_path_rqid(route.header_segment(), 1),
+        )
+        .unwrap();
+        for (i, w) in route.continuation_words().enumerate() {
+            k.reg_write(ext_reg_addr(1, i), w).unwrap();
+        }
+        k.push_src(1, 9, 0).unwrap();
+        let mut noc = Noc::new(&topo);
+        for _ in 0..60 {
+            let cycle = noc.cycle();
+            let link = noc.ni_link_mut(0);
+            k.tick(link, cycle);
+            noc.tick();
+        }
+        assert_eq!(
+            k.stats().packets_tx[WordClass::BestEffort.index()],
+            0,
+            "no zero-payload packet churn"
+        );
+        assert_eq!(k.channel(1).src_level(), 1, "data stays queued");
     }
 
     #[test]

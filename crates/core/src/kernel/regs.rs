@@ -20,6 +20,8 @@
 //!     r = 2  PATH_RQID  bits 20..0 source route, bits 25..21 remote qid
 //!     r = 3  DATA_THRESHOLD
 //!     r = 4  CREDIT_THRESHOLD
+//! 0x1000 + 4c + k channel c, PATH_EXT[k]: bits 20..0 route segment k+1
+//!                 (two-level routing; all-terminator = unused)
 //! ```
 //!
 //! The minimal per-channel setup is exactly three writes — `CTRL`, `SPACE`,
@@ -27,6 +29,13 @@
 //! sequence and the paper's "3 registers written at the slave NI"; a master
 //! side additionally writes the two thresholds ("5 registers at the master
 //! NI") plus slot-table entries for GT channels.
+//!
+//! Channels whose route exceeds one header additionally write `PATH_EXT`
+//! registers, one per continuation segment of the
+//! [`Route`](noc_sim::Route). **Writing `PATH_RQID` clears every
+//! `PATH_EXT` register of the channel** (so reconfiguring a channel onto a
+//! short route can never leak a stale continuation segment); write
+//! `PATH_RQID` first, then the `PATH_EXT` registers in order.
 
 /// Base address of the slot-table registers.
 pub const SLOT_BASE: u32 = 0x0080;
@@ -89,6 +98,14 @@ pub const CTRL_ENABLE: u32 = 0b01;
 /// `CTRL` bit 1: guaranteed-throughput channel.
 pub const CTRL_GT: u32 = 0b10;
 
+/// Base address of the per-channel `PATH_EXT` register blocks.
+pub const EXT_BASE: u32 = 0x1000;
+
+/// `PATH_EXT` registers per channel: one continuation segment each, so a
+/// channel can carry routes of up to `1 + PATH_EXT_REGS`
+/// ([`noc_sim::MAX_ROUTE_SEGMENTS`]) header-sized segments.
+pub const PATH_EXT_REGS: usize = noc_sim::MAX_ROUTE_SEGMENTS - 1;
+
 /// The word address of channel `ch` register `reg`.
 pub fn chan_reg_addr(ch: usize, reg: ChanReg) -> u32 {
     CHAN_BASE + ch as u32 * CHAN_STRIDE + reg.offset()
@@ -97,6 +114,16 @@ pub fn chan_reg_addr(ch: usize, reg: ChanReg) -> u32 {
 /// The word address of slot-table entry `slot`.
 pub fn slot_reg_addr(slot: usize) -> u32 {
     SLOT_BASE + slot as u32
+}
+
+/// The word address of channel `ch` register `PATH_EXT[k]`.
+///
+/// # Panics
+///
+/// Panics if `k` is not below [`PATH_EXT_REGS`].
+pub fn ext_reg_addr(ch: usize, k: usize) -> u32 {
+    assert!(k < PATH_EXT_REGS, "PATH_EXT index {k} out of range");
+    EXT_BASE + (ch * PATH_EXT_REGS + k) as u32
 }
 
 /// Packs the `PATH_RQID` register value.
@@ -113,6 +140,8 @@ pub enum RegAddr {
     Slot(usize),
     /// A channel register.
     Chan(usize, ChanReg),
+    /// A channel `PATH_EXT` register: `(channel, segment index)`.
+    ChanExt(usize, usize),
 }
 
 /// Register access errors.
@@ -158,6 +187,14 @@ pub fn decode_addr(addr: u32, stu_slots: usize, n_channels: usize) -> Result<Reg
         REG_NI_ID | REG_STU_SLOTS | REG_CHAN_COUNT => Ok(RegAddr::Global(addr)),
         a if (SLOT_BASE..SLOT_BASE + stu_slots as u32).contains(&a) => {
             Ok(RegAddr::Slot((a - SLOT_BASE) as usize))
+        }
+        a if a >= EXT_BASE => {
+            let idx = (a - EXT_BASE) as usize;
+            let ch = idx / PATH_EXT_REGS;
+            if ch >= n_channels {
+                return Err(RegError::BadAddress { addr });
+            }
+            Ok(RegAddr::ChanExt(ch, idx % PATH_EXT_REGS))
         }
         a if a >= CHAN_BASE => {
             let ch = ((a - CHAN_BASE) / CHAN_STRIDE) as usize;
@@ -220,6 +257,27 @@ mod tests {
             assert_eq!(ChanReg::from_offset(reg.offset()), Some(reg));
         }
         assert_eq!(ChanReg::from_offset(7), None);
+    }
+
+    #[test]
+    fn decode_ext_bounds() {
+        assert_eq!(
+            decode_addr(ext_reg_addr(0, 0), 8, 4),
+            Ok(RegAddr::ChanExt(0, 0))
+        );
+        assert_eq!(
+            decode_addr(ext_reg_addr(3, PATH_EXT_REGS - 1), 8, 4),
+            Ok(RegAddr::ChanExt(3, PATH_EXT_REGS - 1))
+        );
+        // Channel 4 does not exist.
+        assert!(decode_addr(ext_reg_addr(4, 0), 8, 4).is_err());
+    }
+
+    #[test]
+    fn ext_block_sits_above_chan_block() {
+        // The PATH_EXT block must not alias the per-channel block of any
+        // realistic channel count (≤ MAX_QUEUES = 32 channels).
+        const { assert!(CHAN_BASE + 32 * CHAN_STRIDE <= EXT_BASE) }
     }
 
     #[test]

@@ -73,11 +73,13 @@ pub use engine::{ClockDomain, Clocked, ClockedWith, Engine};
 pub use header::PacketHeader;
 pub use link::{LinkId, LinkState};
 pub use noc::{NiLink, Noc, NocConfig};
-pub use path::{Path, PortIdx, MAX_HOPS};
+pub use path::{Path, PortIdx, Route, RouteBuildError, MAX_HOPS, MAX_ROUTE_SEGMENTS};
 pub use ring::Ring;
 pub use rng::Rng64;
 pub use router::Router;
 pub use shard::{NocShard, Partition, ShardRegion, ShardRunner};
 pub use stats::{LinkStats, NocStats};
-pub use topology::{Endpoint, NiId, RouterId, Topology, TopologyKind};
+pub use topology::{
+    Endpoint, NiId, RegionError, Regions, RouteLink, RouterId, Topology, TopologyKind,
+};
 pub use word::{LinkWord, Word, WordClass, FLIT_WORDS, SLOT_WORDS};

@@ -28,7 +28,11 @@ use crate::word::{LinkWord, WordClass, SLOT_WORDS};
 /// Construction parameters for a [`Noc`].
 #[derive(Debug, Clone, Copy)]
 pub struct NocConfig {
-    /// BE input-queue depth per router port, in words.
+    /// BE input-queue depth per router port, in words. Must be ≥ 2 when
+    /// any BE traffic rides multi-segment routes: a gateway rewrite needs
+    /// the exhausted header *and* its continuation word queued together,
+    /// and a 1-word queue can never admit the continuation (the header's
+    /// credit only returns once the rewrite happens).
     pub be_queue_words: usize,
     /// Capacity of the NI-side inbox (safety bound on how far an NI may lag
     /// in draining; generous because NIs sink at line rate).
@@ -173,7 +177,18 @@ impl Noc {
     }
 
     /// Builds the network for `topology` with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `be_queue_words < 2`: a gateway rewrite needs the
+    /// exhausted header and its continuation word queued together, so a
+    /// 1-word BE queue would deadlock two-level BE traffic silently.
     pub fn with_config(topology: &Topology, config: NocConfig) -> Self {
+        assert!(
+            config.be_queue_words >= 2,
+            "BE queues need at least 2 words (gateway rewrites queue the \
+             header and its continuation together)"
+        );
         let nr = topology.router_count();
         let mut routers: Vec<Router> = (0..nr)
             .map(|r| Router::new(r, topology.ports_of(r), config.be_queue_words))
@@ -929,6 +944,122 @@ mod tests {
         let w = LinkWord::header_only(0, WordClass::Guaranteed);
         noc.ni_link_mut(0).send(w);
         noc.ni_link_mut(0).send(w);
+    }
+
+    /// Builds the wire form of a packet over a (possibly multi-segment)
+    /// route: header with the first segment, one continuation word per
+    /// further segment, then payload.
+    fn routed_packet(
+        route: &crate::Route,
+        qid: u8,
+        class: WordClass,
+        payload: &[u32],
+    ) -> Vec<LinkWord> {
+        let h = PacketHeader {
+            path: route.header_segment().clone(),
+            qid,
+            credits: 0,
+            flush: false,
+        };
+        let conts: Vec<u32> = route.continuation_words().collect();
+        let mut words = Vec::new();
+        if conts.is_empty() && payload.is_empty() {
+            words.push(LinkWord::header_only(h.pack(), class));
+            return words;
+        }
+        words.push(LinkWord::header(h.pack(), class));
+        for (i, &c) in conts.iter().enumerate() {
+            words.push(LinkWord::payload(
+                c,
+                class,
+                payload.is_empty() && i + 1 == conts.len(),
+            ));
+        }
+        for (i, &w) in payload.iter().enumerate() {
+            words.push(LinkWord::payload(w, class, i + 1 == payload.len()));
+        }
+        words
+    }
+
+    #[test]
+    fn be_two_level_route_crosses_8x8_mesh() {
+        let topo = Topology::mesh(8, 8, 1);
+        let mut noc = Noc::new(&topo);
+        // Opposite corners: 15 hops, beyond any single header.
+        assert!(topo.route(0, 63).is_err());
+        let route = topo.route_any(0, 63).unwrap();
+        assert_eq!(route.gateway_count(), 2);
+        let init_credits = noc.ni_link(0).be_credits();
+        drive(
+            &mut noc,
+            0,
+            &routed_packet(&route, 6, WordClass::BestEffort, &[10, 20, 30]),
+        );
+        noc.run(120);
+        let got = drain(&mut noc, 63);
+        // Continuation words were consumed at the gateways: only header +
+        // payload arrive, path fully consumed, qid intact.
+        assert_eq!(got.len(), 4);
+        assert!(got[0].is_header());
+        let h = PacketHeader::unpack(got[0].word());
+        assert_eq!(h.qid, 6);
+        assert!(h.path.is_empty());
+        assert_eq!(got[1].word(), 10);
+        assert!(got[3].is_tail());
+        assert_eq!(noc.be_overflows(), 0);
+        assert_eq!(noc.gt_conflicts(), 0);
+        // All link-level credits returned (incl. the two gateway-freed ones).
+        assert_eq!(noc.ni_link(0).be_credits(), init_credits);
+        assert!(Clocked::quiescent(&noc), "nothing left in flight");
+    }
+
+    #[test]
+    fn gt_two_level_route_latency_adds_one_cycle_per_gateway() {
+        let topo = Topology::mesh(8, 8, 1);
+        let mut noc = Noc::new(&topo);
+        let route = topo.route_any(0, 63).unwrap();
+        let words = routed_packet(&route, 1, WordClass::Guaranteed, &[100]);
+        assert!(noc.at_slot_boundary());
+        let start = noc.cycle();
+        drive(&mut noc, 0, &words);
+        let mut arrival = None;
+        for _ in 0..200 {
+            noc.tick();
+            if noc.ni_link(63).pending() > 0 && arrival.is_none() {
+                arrival = Some(noc.cycle() - 1);
+            }
+        }
+        // 15 hops at one slot each, plus one held cycle per gateway rewrite.
+        assert_eq!(
+            arrival,
+            Some(start + 15 * SLOT_WORDS + route.gateway_count() as u64)
+        );
+        let got = drain(&mut noc, 63);
+        assert_eq!(got.len(), 2, "continuations consumed en route");
+        assert_eq!(got[1].word(), 100);
+        assert_eq!(noc.gt_conflicts(), 0);
+        assert_eq!(noc.routers().iter().map(Router::gt_orphans).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn two_level_routes_all_corner_pairs_16x16() {
+        // Every corner-to-corner pair on a 16x16 mesh (31 hops, 5 segments).
+        let topo = Topology::mesh(16, 16, 1);
+        let mut noc = Noc::new(&topo);
+        for (src, dst) in [(0usize, 255usize), (255, 0), (15, 240), (240, 15)] {
+            let route = topo.route_any(src, dst).unwrap();
+            assert_eq!(route.total_hops(), 31);
+            drive(
+                &mut noc,
+                src,
+                &routed_packet(&route, 3, WordClass::BestEffort, &[src as u32]),
+            );
+            noc.run(300);
+            let got = drain(&mut noc, dst);
+            assert_eq!(got.len(), 2, "{src}→{dst}");
+            assert_eq!(got[1].word(), src as u32);
+        }
+        assert_eq!(noc.be_overflows(), 0);
     }
 
     #[test]

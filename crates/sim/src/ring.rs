@@ -104,6 +104,16 @@ impl<T: Copy> Ring<T> {
         }
     }
 
+    /// The value at offset `i` from the front (0 = oldest), if occupied.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            None
+        } else {
+            self.buf[(self.head + i) % self.buf.len()].as_ref()
+        }
+    }
+
     /// The newest value, if any.
     #[inline]
     pub fn back(&self) -> Option<&T> {

@@ -16,8 +16,21 @@
 //! The router is driven by [`Noc`](crate::Noc) in two phases per cycle:
 //! [`Router::emit`] (produce at most one word per output, using state from
 //! the previous cycle) and [`Router::absorb`] (register arriving words).
+//!
+//! **Gateway rewrite** (two-level routing, see [`crate::path`]): a header
+//! arriving with its path exhausted *and more words behind it* marks this
+//! router as the route's gateway. The router holds the header, consumes the
+//! next word of the worm — the *continuation word* carrying the next path
+//! segment — and re-emits the header with that segment installed (upper
+//! header bits preserved, first hop consumed as usual). The rewrite costs
+//! one cycle and shortens the packet by one word; it works identically for
+//! GT (hold in [`Router::absorb`]) and BE (hold at the input-queue head in
+//! [`Router::emit`]). Traffic whose route fits one header never exhausts at
+//! a router, so the seed behavior is untouched. BE gateway rewrites need
+//! the header and its continuation queued together, so BE input queues
+//! must hold at least 2 words for two-level BE traffic (the default is 8).
 
-use crate::path::{Path, PortIdx};
+use crate::path::{Path, PortIdx, PATH_BITS};
 use crate::ring::Ring;
 use crate::word::{LinkWord, WordClass, SLOT_WORDS};
 
@@ -46,6 +59,9 @@ pub struct Router {
     be_route: Vec<Option<PortIdx>>,
     /// Per input: output of the in-flight GT worm.
     gt_route: Vec<Option<PortIdx>>,
+    /// Per input: a GT header held for gateway rewrite (path exhausted
+    /// here; the next word of the worm carries the next route segment).
+    gt_hold: Vec<Option<LinkWord>>,
     /// Per output: future GT emissions, ordered by due cycle. Bounded by
     /// one absorb per input per cycle over one slot of lifetime.
     gt_cal: Vec<Ring<GtEvent>>,
@@ -115,6 +131,7 @@ impl Router {
                 .collect(),
             be_route: vec![None; n_ports],
             gt_route: vec![None; n_ports],
+            gt_hold: vec![None; n_ports],
             gt_cal: (0..n_ports)
                 .map(|_| Ring::with_capacity(n_ports * (SLOT_WORDS as usize + 1)))
                 .collect(),
@@ -183,10 +200,57 @@ impl Router {
         self.gt_orphans
     }
 
-    /// Whether the router holds no queued BE words and no scheduled GT
-    /// emissions — a tick of an idle router moves nothing.
+    /// Whether the router holds no queued BE words, no scheduled GT
+    /// emissions and no header held for gateway rewrite — a tick of an idle
+    /// router moves nothing.
     pub fn idle(&self) -> bool {
-        self.be_q.iter().all(Ring::is_empty) && self.gt_cal.iter().all(Ring::is_empty)
+        self.be_q.iter().all(Ring::is_empty)
+            && self.gt_cal.iter().all(Ring::is_empty)
+            && self.gt_hold.iter().all(Option::is_none)
+    }
+
+    /// Installs the next route segment of a continuation word into a held
+    /// exhausted header: the rewritten header keeps the held word's upper
+    /// (credits/flush/qid) bits, takes its first hop from the continuation
+    /// path and inherits the continuation's tail marker. Returns `None` for
+    /// an empty continuation path (a misroute).
+    fn rewrite_header(held: LinkWord, cont: LinkWord) -> Option<(PortIdx, LinkWord)> {
+        let mask = (1u32 << PATH_BITS) - 1;
+        let cont_path = cont.word() & mask;
+        let out = Path::peek_encoded(cont_path)?;
+        let bits = (held.word() & !mask) | Path::shift_encoded(cont_path);
+        let rewritten = if cont.is_tail() {
+            LinkWord::header_only(bits, held.class())
+        } else {
+            LinkWord::header(bits, held.class())
+        };
+        Some((out, rewritten))
+    }
+
+    /// The output a queued BE header at the head of `input` is a candidate
+    /// for, resolving gateway rewrites: an exhausted header is a candidate
+    /// only once its continuation word is queued behind it (second return
+    /// value `true`).
+    fn be_candidate(&self, input: usize) -> Option<(PortIdx, LinkWord, bool)> {
+        let &head = self.be_q[input].front()?;
+        if !head.is_header() {
+            return None;
+        }
+        match Path::peek_encoded(head.word()) {
+            Some(next) => {
+                let fwd = head.with_word(Path::shift_header(head.word()));
+                Some((next, fwd, false))
+            }
+            None if !head.is_tail() => {
+                let &cont = self.be_q[input].get(1)?;
+                let (next, rewritten) = Self::rewrite_header(head, cont)?;
+                Some((next, rewritten, true))
+            }
+            // A single-word packet exhausted at a router is misrouted;
+            // leave it blocking its input (defensive, as for orphan
+            // continuations — cannot happen with well-formed traffic).
+            None => None,
+        }
     }
 
     /// Phase 1: produce at most one word per output for `cycle`.
@@ -212,20 +276,18 @@ impl Router {
         result.clear();
         let mut ready = self.gt_mask;
         for input in 0..self.n_ports {
-            let Some(&head) = self.be_q[input].front() else {
+            if self.be_q[input].is_empty() {
                 continue;
-            };
+            }
             match self.be_route[input] {
                 // A worm mid-flight continues toward its claimed output.
                 Some(out) => ready |= 1 << out,
                 // A header at the head is an arbitration candidate for the
-                // output its path names.
+                // output its (possibly rewritten) path names.
                 None => {
-                    if head.is_header() {
-                        if let Some(next) = Path::peek_encoded(head.word()) {
-                            if usize::from(next) < self.n_ports {
-                                ready |= 1 << next;
-                            }
+                    if let Some((next, _, _)) = self.be_candidate(input) {
+                        if usize::from(next) < self.n_ports {
+                            ready |= 1 << next;
                         }
                     }
                 }
@@ -290,28 +352,29 @@ impl Router {
             for k in 0..self.n_ports {
                 let input = (start + k) % self.n_ports;
                 // An input whose worm is mid-flight elsewhere cannot start a
-                // new worm; its head is a continuation word anyway.
+                // new worm; its head is a continuation word anyway. Non-
+                // header heads (orphan continuations, worm state lost) and
+                // not-yet-rewritable gateway headers are skipped by
+                // `be_candidate`.
                 if self.be_route[input].is_some() {
                     continue;
                 }
-                let Some(&head) = self.be_q[input].front() else {
-                    continue;
-                };
-                if !head.is_header() {
-                    // Orphan continuation (worm state lost) — cannot happen
-                    // with well-formed traffic; skip defensively.
-                    continue;
-                }
-                let Some(next) = Path::peek_encoded(head.word()) else {
+                let Some((next, forwarded, rewrite)) = self.be_candidate(input) else {
                     continue;
                 };
                 if usize::from(next) != out {
                     continue;
                 }
                 self.be_q[input].pop_front();
+                if rewrite {
+                    // Gateway: the continuation word is consumed here, never
+                    // forwarded — its queue slot frees a second upstream
+                    // credit.
+                    self.be_q[input].pop_front();
+                    result.be_dequeues.push(input as PortIdx);
+                }
                 self.out_credits[out] -= 1;
-                let shifted = head.with_word(Path::shift_header(head.word()));
-                if !head.is_tail() {
+                if !forwarded.is_tail() {
                     self.be_owner[out] = Some(input);
                     self.be_route[input] = Some(out as PortIdx);
                 }
@@ -319,7 +382,7 @@ impl Router {
                 result.be_dequeues.push(input as PortIdx);
                 result.emissions.push(Emission {
                     port: out as PortIdx,
-                    word: shifted,
+                    word: forwarded,
                 });
                 break;
             }
@@ -331,17 +394,47 @@ impl Router {
         let input = port as usize;
         match word.class() {
             WordClass::Guaranteed => {
-                let (out, fwd) = if word.is_header() {
-                    let Some(out) = Path::peek_encoded(word.word()) else {
-                        // Path exhausted at a router: misrouted packet.
+                let (out, fwd) = if let Some(held) = self.gt_hold[input].take() {
+                    // Gateway rewrite: the word behind the held exhausted
+                    // header is its continuation — install the next segment
+                    // and re-emit the header (one cycle later, one word
+                    // shorter than a plain hop). A continuation naming no
+                    // port, or a port this router does not have, marks a
+                    // misrouted packet (e.g. payload misread as a segment):
+                    // drop and count it, like any other orphan.
+                    let rewrite = Self::rewrite_header(held, word)
+                        .filter(|&(out, _)| usize::from(out) < self.n_ports);
+                    let Some((out, rewritten)) = rewrite else {
                         self.gt_orphans += 1;
                         return;
                     };
-                    let shifted = word.with_word(Path::shift_header(word.word()));
-                    if !word.is_tail() {
+                    if !rewritten.is_tail() {
                         self.gt_route[input] = Some(out);
                     }
-                    (out, shifted)
+                    (out, rewritten)
+                } else if word.is_header() {
+                    match Path::peek_encoded(word.word()) {
+                        Some(out) => {
+                            let shifted = word.with_word(Path::shift_header(word.word()));
+                            if !word.is_tail() {
+                                self.gt_route[input] = Some(out);
+                            }
+                            (out, shifted)
+                        }
+                        None if !word.is_tail() => {
+                            // Path exhausted with more words behind: this
+                            // router is the route's gateway — hold for the
+                            // continuation word.
+                            self.gt_hold[input] = Some(word);
+                            return;
+                        }
+                        None => {
+                            // Single-word packet exhausted at a router:
+                            // misrouted.
+                            self.gt_orphans += 1;
+                            return;
+                        }
+                    }
                 } else {
                     let Some(out) = self.gt_route[input] else {
                         self.gt_orphans += 1;
@@ -573,6 +666,125 @@ mod tests {
         let out = r.emit(3).emissions;
         assert_eq!(out.len(), 1);
         assert_eq!(r.gt_mask, 0, "drained calendar clears the bit");
+    }
+
+    fn exhausted_header(qid: u8, class: WordClass) -> LinkWord {
+        LinkWord::header(header_word(&[], qid), class)
+    }
+
+    fn continuation(path: &[PortIdx], class: WordClass, tail: bool) -> LinkWord {
+        LinkWord::payload(Path::new(path).unwrap().encode(), class, tail)
+    }
+
+    #[test]
+    fn gt_gateway_rewrites_header_from_continuation() {
+        let mut r = fresh(5);
+        // Header exhausted here; continuation names segment [2, 4]; one
+        // payload word follows.
+        r.absorb(0, exhausted_header(3, WordClass::Guaranteed), 0);
+        assert!(!r.idle(), "held header keeps the router non-idle");
+        r.absorb(0, continuation(&[2, 4], WordClass::Guaranteed, false), 1);
+        r.absorb(0, LinkWord::payload(77, WordClass::Guaranteed, true), 2);
+        // Rewritten header due at 1 + SLOT_WORDS = 4 (one cycle later than
+        // a plain hop), payload follows contiguously.
+        assert!(r.emit(3).emissions.is_empty());
+        let e4 = r.emit(4).emissions;
+        assert_eq!(e4.len(), 1);
+        assert_eq!(e4[0].port, 2);
+        assert!(e4[0].word.is_header());
+        // Upper header bits (qid) survived; path shifted past the rewritten
+        // first hop.
+        assert_eq!(PacketHeader::unpack(e4[0].word.word()).qid, 3);
+        assert_eq!(Path::peek_encoded(e4[0].word.word()), Some(4));
+        let e5 = r.emit(5).emissions;
+        assert_eq!(e5[0].word.word(), 77);
+        assert!(e5[0].word.is_tail());
+        assert_eq!(r.gt_orphans(), 0);
+        assert_eq!(r.gt_conflicts(), 0);
+    }
+
+    #[test]
+    fn gt_gateway_credit_only_packet() {
+        // Header + tail continuation and nothing else: the rewritten header
+        // leaves as a single-word packet.
+        let mut r = fresh(5);
+        r.absorb(1, exhausted_header(7, WordClass::Guaranteed), 0);
+        r.absorb(1, continuation(&[3], WordClass::Guaranteed, true), 1);
+        let out = r.emit(4).emissions;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 3);
+        assert!(out[0].word.is_header() && out[0].word.is_tail());
+        assert!(r.idle());
+    }
+
+    #[test]
+    fn gt_exhausted_single_word_header_is_orphan() {
+        let mut r = fresh(5);
+        r.absorb(
+            0,
+            LinkWord::header_only(header_word(&[], 0), WordClass::Guaranteed),
+            0,
+        );
+        assert_eq!(r.gt_orphans(), 1);
+        assert!(r.idle());
+    }
+
+    #[test]
+    fn gt_empty_continuation_is_orphan() {
+        let mut r = fresh(5);
+        r.absorb(0, exhausted_header(0, WordClass::Guaranteed), 0);
+        r.absorb(0, continuation(&[], WordClass::Guaranteed, true), 1);
+        assert_eq!(r.gt_orphans(), 1);
+        assert!(r.emit(4).emissions.is_empty());
+    }
+
+    #[test]
+    fn gt_continuation_naming_a_missing_port_is_orphan_not_panic() {
+        // A misrouted multi-word packet: the word behind the exhausted
+        // header is payload whose low bits decode to port 6 on a 5-port
+        // router. It must be dropped and counted, not crash the calendar.
+        let mut r = fresh(5);
+        r.absorb(0, exhausted_header(0, WordClass::Guaranteed), 0);
+        r.absorb(0, LinkWord::payload(6, WordClass::Guaranteed, true), 1);
+        assert_eq!(r.gt_orphans(), 1);
+        assert!(r.emit(4).emissions.is_empty());
+        assert!(r.idle());
+    }
+
+    #[test]
+    fn be_gateway_rewrites_and_returns_both_credits() {
+        let mut r = fresh(5);
+        r.absorb(0, exhausted_header(5, WordClass::BestEffort), 0);
+        // Continuation not yet queued: the header must wait, not block.
+        assert!(r.emit(1).emissions.is_empty());
+        r.absorb(0, continuation(&[1, 4], WordClass::BestEffort, false), 1);
+        r.absorb(0, LinkWord::payload(9, WordClass::BestEffort, true), 2);
+        let res = r.emit(2);
+        assert_eq!(res.emissions.len(), 1);
+        assert_eq!(res.emissions[0].port, 1);
+        assert!(res.emissions[0].word.is_header());
+        assert_eq!(PacketHeader::unpack(res.emissions[0].word.word()).qid, 5);
+        assert_eq!(Path::peek_encoded(res.emissions[0].word.word()), Some(4));
+        // Two queue slots freed (header + consumed continuation) → two
+        // upstream credits.
+        assert_eq!(res.be_dequeues, vec![0, 0]);
+        // The worm continues to the claimed output.
+        let res = r.emit(3);
+        assert_eq!(res.emissions[0].word.word(), 9);
+        assert!(res.emissions[0].word.is_tail());
+        assert_eq!(res.be_dequeues, vec![0]);
+    }
+
+    #[test]
+    fn be_gateway_tail_continuation_single_word_out() {
+        let mut r = fresh(5);
+        r.absorb(0, exhausted_header(2, WordClass::BestEffort), 0);
+        r.absorb(0, continuation(&[3], WordClass::BestEffort, true), 1);
+        let res = r.emit(2);
+        assert_eq!(res.emissions.len(), 1);
+        assert!(res.emissions[0].word.is_tail());
+        assert_eq!(res.be_dequeues, vec![0, 0]);
+        assert!(r.idle());
     }
 
     #[test]

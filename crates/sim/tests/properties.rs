@@ -244,3 +244,88 @@ proptest! {
         prop_assert_eq!(d.local_now(n), n / u64::from(div));
     }
 }
+
+/// Replays a (possibly multi-segment) route hop by hop through the
+/// topology: every non-final hop must cross a real inter-router edge, the
+/// final hop must eject into the destination NI.
+fn route_is_walkable(topo: &Topology, from: usize, to: usize, route: &noc_sim::Route) {
+    let (mut r, _) = topo.ni_attachment(from).expect("source NI");
+    let hops: Vec<_> = route.iter_hops().collect();
+    for (i, &hop) in hops.iter().enumerate() {
+        if i + 1 == hops.len() {
+            assert_eq!(topo.ni_at(r, hop), Some(to), "last hop ejects at dest");
+        } else {
+            let (nr, _) = topo
+                .neighbour(r, hop)
+                .expect("non-final hops cross router edges");
+            r = nr;
+        }
+    }
+}
+
+proptest! {
+    /// Any-pair routes on 4x4–16x16 meshes are walkable, minimal-length
+    /// (XY distance + ejection), within the segment encoding limits, and
+    /// split only when they exceed one header.
+    #[test]
+    fn route_any_is_valid_minimal_and_splits_only_when_needed(
+        width in 4usize..=16,
+        height in 4usize..=16,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let topo = Topology::mesh(width, height, 1);
+        let n = width * height;
+        let from = (a % n as u64) as usize;
+        let to = (b % n as u64) as usize;
+        let route = topo.route_any(from, to).expect("any pair routes");
+        let (fx, fy) = (from % width, from / width);
+        let (tx, ty) = (to % width, to / width);
+        let minimal = fx.abs_diff(tx) + fy.abs_diff(ty) + 1;
+        prop_assert_eq!(route.total_hops(), minimal, "minimal XY length");
+        prop_assert_eq!(
+            route.is_single(),
+            minimal <= noc_sim::MAX_HOPS,
+            "split exactly when one header is not enough"
+        );
+        prop_assert!(route.segments().len() <= noc_sim::MAX_ROUTE_SEGMENTS);
+        for (i, seg) in route.segments().iter().enumerate() {
+            prop_assert!(seg.hops() <= noc_sim::MAX_HOPS);
+            prop_assert!(!seg.is_empty(), "segment {} empty", i);
+        }
+        route_is_walkable(&topo, from, to, &route);
+    }
+
+    /// Declaring region gateways steers split points but never changes the
+    /// hop sequence — routes stay minimal and walkable, and every split
+    /// lands on a gateway whenever one lies in the search window.
+    #[test]
+    fn region_gateways_never_change_route_length(
+        bands in 2usize..=4,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let width = 8;
+        let height = 8;
+        let n = width * height;
+        let rows_per_band = height / bands;
+        let region_of: Vec<usize> = (0..n)
+            .map(|r| usize::min((r / width) / rows_per_band, bands - 1))
+            .collect();
+        // Gateway: first router of each band's first row.
+        let gateways: Vec<usize> = (0..bands).map(|g| g * rows_per_band * width).collect();
+        let regions = noc_sim::Regions::new(region_of, gateways).expect("valid bands");
+        let plain = Topology::mesh(width, height, 1);
+        let regioned = Topology::mesh(width, height, 1).with_regions(regions);
+        let from = (a % n as u64) as usize;
+        let to = (b % n as u64) as usize;
+        let r1 = plain.route_any(from, to).expect("routes");
+        let r2 = regioned.route_any(from, to).expect("routes");
+        prop_assert_eq!(
+            r1.iter_hops().collect::<Vec<_>>(),
+            r2.iter_hops().collect::<Vec<_>>(),
+            "same minimal hop sequence"
+        );
+        route_is_walkable(&regioned, from, to, &r2);
+    }
+}

@@ -237,7 +237,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{Range, RangeInclusive, Rng64, Strategy};
 
-    /// An inclusive length range for [`vec`], converted proptest-style from
+    /// An inclusive length range for [`vec()`](fn@vec), converted proptest-style from
     /// plain ranges (half-open ranges become `[start, end)`).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
