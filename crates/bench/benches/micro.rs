@@ -130,21 +130,80 @@ fn bench_full_system(c: &mut Criterion) {
 
 fn bench_sharding(c: &mut Criterion) {
     // Busy 8x8 mesh, 64 endless column streams all crossing the row cut:
-    // the sequential reference, the 2-shard lockstep runner on one thread
-    // (pure sharding overhead), and the 2-shard worker-thread runner
-    // (scaling — bounded by the host's core count).
+    // the sequential reference, the 2-shard runner on one thread at batch
+    // sizes 1 and 16 (pure sharding overhead vs the slack-batched epoch),
+    // and the 2-shard worker-thread runner (scaling — bounded by the
+    // host's core count).
     c.bench_function("mesh8x8_uniform_seq_1k", |b| {
         let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
         b.iter(|| sys.run(1_000));
     });
-    c.bench_function("mesh8x8_uniform_shard2_1k", |b| {
-        let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
-        b.iter(|| sharded.run(1_000));
+    c.bench_with_params(
+        "mesh8x8_uniform_shard2_1k",
+        &[("shards", 2), ("batch", 1)],
+        |b| {
+            let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
+            b.iter(|| sharded.run(1_000));
+        },
+    );
+    c.bench_with_params(
+        "mesh8x8_uniform_shard2_b16_1k",
+        &[("shards", 2), ("batch", 16)],
+        |b| {
+            let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
+            sharded.set_batch(16);
+            b.iter(|| sharded.run(1_000));
+        },
+    );
+    c.bench_with_params(
+        "mesh8x8_uniform_shard2_par_1k",
+        &[("shards", 2), ("batch", 1)],
+        |b| {
+            let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
+            b.iter(|| sharded.run_parallel(1_000));
+        },
+    );
+    c.bench_with_params(
+        "mesh8x8_uniform_shard2_par_b16_1k",
+        &[("shards", 2), ("batch", 16)],
+        |b| {
+            let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
+            sharded.set_batch(16);
+            b.iter(|| sharded.run_parallel(1_000));
+        },
+    );
+    // Hotspot traffic (many senders into a center block, heavy contention
+    // and boundary credits under pressure): the ISSUE-5 acceptance case —
+    // the slack-batched epoch must turn the sequential-sharded overhead
+    // into a win at B=16.
+    c.bench_function("mesh8x8_hotspot_seq_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Hotspot);
+        b.iter(|| sys.run(1_000));
     });
-    c.bench_function("mesh8x8_uniform_shard2_par_1k", |b| {
-        let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Uniform, 2);
-        b.iter(|| sharded.run_parallel(1_000));
-    });
+    for batch in [1u64, 16] {
+        c.bench_with_params(
+            &format!("mesh8x8_hotspot_shard2_b{batch}_1k"),
+            &[("shards", 2), ("batch", batch)],
+            |b| {
+                let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Hotspot, 2);
+                sharded.set_batch(batch);
+                b.iter(|| sharded.run(1_000));
+            },
+        );
+    }
+    // Finer bands let the activity set bite: the hotspot leaves the top
+    // and bottom rows untouched, so at 8 shards two regions sleep through
+    // the whole run — work the monolithic tick cannot avoid — while the
+    // batched epoch keeps the 8-region scheduling overhead amortized.
+    c.bench_with_params(
+        "mesh8x8_hotspot_shard8_b16_1k",
+        &[("shards", 8), ("batch", 16)],
+        |b| {
+            let (mut sharded, _) = sharded_stream_mesh(8, 8, MeshTraffic::Hotspot, 8);
+            sharded.set_batch(16);
+            b.iter(|| sharded.run(1_000));
+        },
+    );
     // The activity-set scheduler: a fully idle 8x8 (the global fast path),
     // the same mesh with traffic confined to the top band while three
     // regions sleep, and — as the busy band's stand-alone cost reference —
@@ -167,6 +226,45 @@ fn bench_sharding(c: &mut Criterion) {
     });
 }
 
+/// 16x16 sweeps (256 routers; routing unconstrained since the two-level
+/// planner): shard count and batch size over uniform and cross-region
+/// hotspot traffic.
+fn bench_mesh16(c: &mut Criterion) {
+    c.bench_function("mesh16x16_uniform_seq_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(16, 16, MeshTraffic::Uniform);
+        b.iter(|| sys.run(1_000));
+    });
+    c.bench_function("mesh16x16_hotspot_seq_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(16, 16, MeshTraffic::Hotspot);
+        b.iter(|| sys.run(1_000));
+    });
+    for (traffic, tag) in [
+        (MeshTraffic::Uniform, "uniform"),
+        (MeshTraffic::Hotspot, "hotspot"),
+    ] {
+        for batch in [1u64, 4, 16] {
+            c.bench_with_params(
+                &format!("mesh16x16_{tag}_shard4_b{batch}_1k"),
+                &[("shards", 4), ("batch", batch)],
+                |b| {
+                    let (mut sharded, _) = sharded_stream_mesh(16, 16, traffic, 4);
+                    sharded.set_batch(batch);
+                    b.iter(|| sharded.run(1_000));
+                },
+            );
+        }
+        c.bench_with_params(
+            &format!("mesh16x16_{tag}_shard2_b16_1k"),
+            &[("shards", 2), ("batch", 16)],
+            |b| {
+                let (mut sharded, _) = sharded_stream_mesh(16, 16, traffic, 2);
+                sharded.set_batch(16);
+                b.iter(|| sharded.run(1_000));
+            },
+        );
+    }
+}
+
 /// Derived scaling metrics over the sharding benches (recorded into the
 /// `BENCH_JSON` history, e.g. `BENCH_pr3.json`).
 fn derive_scaling(c: &mut Criterion) {
@@ -187,6 +285,67 @@ fn derive_scaling(c: &mut Criterion) {
         // busy band (1.0 = the three idle regions are free).
         c.derived("mixed_vs_busy_band_alone_ratio", r);
     }
+    // Slack-batched epochs: sequential-sharded speedup vs the monolithic
+    // run at B=1 and B=16 (the ISSUE-5 acceptance asks ≥ 1.0 on the 8x8
+    // hotspot at B=16), and the pure speedup-vs-B ratios on the 16x16
+    // sweeps.
+    for (name, seq, shard) in [
+        (
+            "hotspot_8x8_shard2_seq_speedup_b1",
+            "mesh8x8_hotspot_seq_1k",
+            "mesh8x8_hotspot_shard2_b1_1k",
+        ),
+        (
+            "hotspot_8x8_shard2_seq_speedup_b16",
+            "mesh8x8_hotspot_seq_1k",
+            "mesh8x8_hotspot_shard2_b16_1k",
+        ),
+        (
+            "hotspot_8x8_shard8_seq_speedup_b16",
+            "mesh8x8_hotspot_seq_1k",
+            "mesh8x8_hotspot_shard8_b16_1k",
+        ),
+        (
+            "uniform_8x8_shard2_seq_speedup_b16",
+            "mesh8x8_uniform_seq_1k",
+            "mesh8x8_uniform_shard2_b16_1k",
+        ),
+        (
+            "uniform_16x16_shard4_seq_speedup_b16",
+            "mesh16x16_uniform_seq_1k",
+            "mesh16x16_uniform_shard4_b16_1k",
+        ),
+        (
+            "hotspot_16x16_shard4_seq_speedup_b16",
+            "mesh16x16_hotspot_seq_1k",
+            "mesh16x16_hotspot_shard4_b16_1k",
+        ),
+    ] {
+        if let Some(r) = ratio(c, seq, shard) {
+            c.derived(name, r);
+        }
+    }
+    for (name, b1, b16) in [
+        (
+            "speedup_vs_b_8x8_hotspot_shard2",
+            "mesh8x8_hotspot_shard2_b1_1k",
+            "mesh8x8_hotspot_shard2_b16_1k",
+        ),
+        (
+            "speedup_vs_b_16x16_uniform_shard4",
+            "mesh16x16_uniform_shard4_b1_1k",
+            "mesh16x16_uniform_shard4_b16_1k",
+        ),
+        (
+            "speedup_vs_b_16x16_hotspot_shard4",
+            "mesh16x16_hotspot_shard4_b1_1k",
+            "mesh16x16_hotspot_shard4_b16_1k",
+        ),
+    ] {
+        if let Some(r) = ratio(c, b1, b16) {
+            c.derived(name, r);
+        }
+    }
 }
 
 criterion_group!(
@@ -199,6 +358,7 @@ criterion_group!(
     bench_slot_allocator,
     bench_full_system,
     bench_sharding,
+    bench_mesh16,
     derive_scaling
 );
 criterion_main!(benches);

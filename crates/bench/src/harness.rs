@@ -53,6 +53,19 @@ pub struct Measurement {
     pub iters_per_sample: u64,
 }
 
+/// One recorded benchmark: its name, the scenario parameters it ran with
+/// (e.g. shard count and batch size — emitted into the `BENCH_JSON`
+/// record so perf history stays self-describing), and the measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Scenario parameters, in declaration order.
+    pub params: Vec<(String, u64)>,
+    /// The timing measurement.
+    pub measurement: Measurement,
+}
+
 /// Runs the body handed to [`Bencher::iter`] and times it.
 pub struct Bencher {
     iters: u64,
@@ -73,7 +86,7 @@ impl Bencher {
 /// The benchmark driver (criterion-compatible subset).
 #[derive(Debug, Default)]
 pub struct Criterion {
-    results: Vec<(String, Measurement)>,
+    results: Vec<BenchRecord>,
     derived: Vec<(String, f64)>,
 }
 
@@ -84,7 +97,19 @@ impl Criterion {
     }
 
     /// Benchmarks `f`, which must call [`Bencher::iter`] exactly once.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_with_params(name, &[], f)
+    }
+
+    /// Like [`Criterion::bench_function`], recording scenario parameters
+    /// (e.g. `[("shards", 2), ("batch", 16)]`) into the result so the
+    /// `BENCH_JSON` history carries them alongside the timings.
+    pub fn bench_with_params<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        params: &[(&str, u64)],
+        mut f: F,
+    ) -> &mut Self {
         let min_sample = min_sample();
         // Calibrate: double iterations until the sample window is long
         // enough for the clock to be negligible.
@@ -126,12 +151,16 @@ impl Criterion {
             fmt_ns(m.min_ns),
             m.iters_per_sample
         );
-        self.results.push((name.to_string(), m));
+        self.results.push(BenchRecord {
+            name: name.to_string(),
+            params: params.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            measurement: m,
+        });
         self
     }
 
     /// All measurements recorded so far.
-    pub fn results(&self) -> &[(String, Measurement)] {
+    pub fn results(&self) -> &[BenchRecord] {
         &self.results
     }
 
@@ -139,8 +168,8 @@ impl Criterion {
     pub fn median_of(&self, name: &str) -> Option<f64> {
         self.results
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, m)| m.median_ns)
+            .find(|r| r.name == name)
+            .map(|r| r.measurement.median_ns)
     }
 
     /// Records a derived metric (a ratio or efficiency computed from other
@@ -158,14 +187,25 @@ impl Criterion {
             return;
         };
         let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, (name, m)) in self.results.iter().enumerate() {
+        for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
             }
+            let m = &r.measurement;
+            let params = if r.params.is_empty() {
+                String::new()
+            } else {
+                let body: Vec<String> = r
+                    .params
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect();
+                format!(", \"params\": {{{}}}", body.join(", "))
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{name}\", \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
+                "    {{\"name\": \"{}\"{params}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
                  \"min_ns\": {:.3}, \"iters_per_sample\": {}}}",
-                m.median_ns, m.mean_ns, m.min_ns, m.iters_per_sample
+                r.name, m.median_ns, m.mean_ns, m.min_ns, m.iters_per_sample
             ));
         }
         out.push_str("\n  ],\n  \"derived\": [\n");
@@ -228,8 +268,23 @@ mod tests {
                 x
             });
         });
-        let (name, m) = &c.results()[0];
-        assert_eq!(name, "noop_add");
+        let r = &c.results()[0];
+        assert_eq!(r.name, "noop_add");
+        assert!(r.params.is_empty());
+        let m = &r.measurement;
         assert!(m.median_ns > 0.0 && m.median_ns < 1_000.0);
+    }
+
+    #[test]
+    fn params_recorded_with_result() {
+        let mut c = Criterion::new();
+        c.bench_with_params("tagged", &[("shards", 2), ("batch", 16)], |b| {
+            b.iter(|| 1u64);
+        });
+        let r = &c.results()[0];
+        assert_eq!(
+            r.params,
+            vec![("shards".to_string(), 2), ("batch".to_string(), 16)]
+        );
     }
 }

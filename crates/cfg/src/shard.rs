@@ -145,6 +145,30 @@ impl ShardedSystem {
         self.regions.len()
     }
 
+    /// Sets the runner's batch size `B ≥ 1` and returns `self` (builder
+    /// form): how many cycles run between scheduling epochs — activity-set
+    /// walks in both modes, plus the epoch barrier of
+    /// [`ShardedSystem::run_parallel`]. A pure performance knob: execution
+    /// is bit-identical for every `B` (pinned by the batched parity tests).
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.set_batch(batch);
+        self
+    }
+
+    /// Sets the runner's batch size (see [`ShardedSystem::with_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn set_batch(&mut self, batch: u64) {
+        self.runner.set_batch(batch);
+    }
+
+    /// The configured batch size.
+    pub fn batch(&self) -> u64 {
+        self.runner.batch()
+    }
+
     /// The global cycle (all regions are caught up to this between runs).
     pub fn cycle(&self) -> u64 {
         self.runner.cycle()

@@ -109,10 +109,19 @@ impl std::fmt::Display for SlotError {
 impl std::error::Error for SlotError {}
 
 /// The centralized slot allocator.
+///
+/// Per-link occupancy is a slot **bitmask**, and feasibility over a whole
+/// route is computed with one occupancy lookup and one mask rotation per
+/// link (instead of one hash probe per candidate slot per link), so the
+/// allocate/free hot path stays in the tens-of-nanoseconds-per-link range
+/// — see the `slot_allocate_free` micro-benchmark.
 #[derive(Debug, Clone, Default)]
 pub struct SlotAllocator {
     stu_slots: usize,
     occupancy: HashMap<LinkKey, u64>,
+    /// Reusable scratch: ascending feasible injection slots of the current
+    /// allocation (kept to avoid a per-call allocation).
+    feasible_scratch: Vec<usize>,
 }
 
 impl SlotAllocator {
@@ -126,6 +135,7 @@ impl SlotAllocator {
         SlotAllocator {
             stu_slots,
             occupancy: HashMap::new(),
+            feasible_scratch: Vec::new(),
         }
     }
 
@@ -148,28 +158,28 @@ impl SlotAllocator {
             .collect()
     }
 
-    /// The slots a word injected in slot `s` can occupy on the link at hop
-    /// `h` after `g` gateway rewrites: the shifted base slot, plus the next
-    /// slot when the accumulated delay is a fraction of a slot.
-    fn slots_on_link(&self, s: usize, h: usize, g: u32) -> (usize, Option<usize>) {
-        let base = (s + h + (g as u64 / SLOT_WORDS) as usize) % self.stu_slots;
-        if u64::from(g) % SLOT_WORDS == 0 {
-            (base, None)
-        } else {
-            (base, Some((base + 1) % self.stu_slots))
-        }
+    /// The pipeline shift of the link at hop `h` after `g` gateway
+    /// rewrites, and whether the accumulated delay spills one cycle into
+    /// the next slot (`g` not a whole number of slots).
+    #[inline]
+    fn link_shift(h: usize, g: u32) -> (usize, bool) {
+        (
+            h + (u64::from(g) / SLOT_WORDS) as usize,
+            !u64::from(g).is_multiple_of(SLOT_WORDS),
+        )
     }
 
-    fn injection_slot_feasible(&self, links: &[(LinkKey, u32)], s: usize) -> bool {
-        links.iter().enumerate().all(|(h, &(link, g))| {
-            let free = |slot: usize| {
-                self.occupancy
-                    .get(&link)
-                    .is_none_or(|m| m & (1 << slot) == 0)
-            };
-            let (base, spill) = self.slots_on_link(s, h, g);
-            free(base) && spill.is_none_or(free)
-        })
+    /// Rotates an occupancy mask right by `k` within `stu` bits: bit `s` of
+    /// the result is bit `(s + k) mod stu` of `mask` — i.e. the occupancy a
+    /// word injected in slot `s` meets on a link shifted by `k`.
+    #[inline]
+    fn rotr(mask: u64, k: usize, stu: usize) -> u64 {
+        let k = k % stu;
+        if k == 0 {
+            mask
+        } else {
+            ((mask >> k) | (mask << (stu - k))) & (u64::MAX >> (64 - stu))
+        }
     }
 
     /// Reserves `n_slots` slots for a GT connection from NI `from` along
@@ -186,7 +196,7 @@ impl SlotAllocator {
         n_slots: usize,
         strategy: SlotStrategy,
     ) -> Result<SlotAllocation, SlotError> {
-        self.allocate_links(Self::links_of(topo, from, path), n_slots, strategy)
+        self.allocate_links(&Self::links_of(topo, from, path), n_slots, strategy)
     }
 
     /// Reserves `n_slots` slots for a GT connection from NI `from` along a
@@ -205,58 +215,81 @@ impl SlotAllocator {
         n_slots: usize,
         strategy: SlotStrategy,
     ) -> Result<SlotAllocation, SlotError> {
-        let links = topo
+        let links: Vec<(LinkKey, u32)> = topo
             .links_of_route_segmented(from, route)
             .into_iter()
             .map(|l| ((l.router, l.port), l.gateways_before))
             .collect();
-        self.allocate_links(links, n_slots, strategy)
+        self.allocate_links(&links, n_slots, strategy)
     }
 
     fn allocate_links(
         &mut self,
-        links: Vec<(LinkKey, u32)>,
+        links: &[(LinkKey, u32)],
         n_slots: usize,
         strategy: SlotStrategy,
     ) -> Result<SlotAllocation, SlotError> {
         assert!(n_slots >= 1, "a GT connection needs at least one slot");
-        let feasible: Vec<usize> = (0..self.stu_slots)
-            .filter(|&s| self.injection_slot_feasible(&links, s))
-            .collect();
-        if feasible.len() < n_slots {
+        let stu = self.stu_slots;
+        // Feasible injection slots as one bitmask: each link contributes
+        // its occupancy rotated back by its pipeline shift (one hash
+        // lookup and one rotation per link — never per candidate slot).
+        let mut feasible = u64::MAX >> (64 - stu);
+        for (h, &(link, g)) in links.iter().enumerate() {
+            let occ = self.occupancy.get(&link).copied().unwrap_or(0);
+            if occ == 0 {
+                continue;
+            }
+            let (shift, spill) = Self::link_shift(h, g);
+            feasible &= !Self::rotr(occ, shift, stu);
+            if spill {
+                feasible &= !Self::rotr(occ, shift + 1, stu);
+            }
+        }
+        let available = feasible.count_ones() as usize;
+        if available < n_slots {
             return Err(SlotError::Insufficient {
                 requested: n_slots,
-                available: feasible.len(),
+                available,
             });
         }
-        let chosen: Vec<usize> = match strategy {
+        let mut chosen: Vec<usize> = Vec::with_capacity(n_slots);
+        match strategy {
             SlotStrategy::Spread => {
-                // Evenly sample the feasible set.
-                (0..n_slots)
-                    .map(|i| feasible[i * feasible.len() / n_slots])
-                    .collect()
+                // Evenly sample the feasible set (ascending bit order).
+                let mut feas = std::mem::take(&mut self.feasible_scratch);
+                feas.clear();
+                let mut m = feasible;
+                while m != 0 {
+                    feas.push(m.trailing_zeros() as usize);
+                    m &= m - 1;
+                }
+                chosen.extend((0..n_slots).map(|i| feas[i * feas.len() / n_slots]));
+                self.feasible_scratch = feas;
             }
             SlotStrategy::Consecutive => {
                 // A run s, s+1, …, s+n-1 of feasible injection slots
                 // (wrapping).
-                let set: std::collections::HashSet<usize> = feasible.iter().copied().collect();
-                let start = (0..self.stu_slots)
-                    .find(|&s| (0..n_slots).all(|k| set.contains(&((s + k) % self.stu_slots))))
+                let bit = |s: usize| feasible >> (s % stu) & 1 == 1;
+                let start = (0..stu)
+                    .find(|&s| (0..n_slots).all(|k| bit(s + k)))
                     .ok_or(SlotError::NoConsecutiveRun { requested: n_slots })?;
-                let mut run: Vec<usize> =
-                    (0..n_slots).map(|k| (start + k) % self.stu_slots).collect();
-                run.sort_unstable();
-                run
+                chosen.extend((0..n_slots).map(|k| (start + k) % stu));
+                chosen.sort_unstable();
             }
-        };
-        let mut reserved = Vec::new();
-        for &s in &chosen {
-            for (h, &(link, g)) in links.iter().enumerate() {
-                let (base, spill) = self.slots_on_link(s, h, g);
-                *self.occupancy.entry(link).or_insert(0) |= 1 << base;
+        }
+        // Commit: one occupancy entry per link, all chosen slots at once.
+        let mut reserved = Vec::with_capacity(chosen.len() * links.len() * 2);
+        for (h, &(link, g)) in links.iter().enumerate() {
+            let (shift, spill) = Self::link_shift(h, g);
+            let occ = self.occupancy.entry(link).or_insert(0);
+            for &s in &chosen {
+                let base = (s + shift) % stu;
+                *occ |= 1 << base;
                 reserved.push((link, base));
-                if let Some(next) = spill {
-                    *self.occupancy.entry(link).or_insert(0) |= 1 << next;
+                if spill {
+                    let next = (base + 1) % stu;
+                    *occ |= 1 << next;
                     reserved.push((link, next));
                 }
             }
@@ -267,11 +300,19 @@ impl SlotAllocator {
         })
     }
 
-    /// Releases a reservation.
+    /// Releases a reservation (one occupancy lookup per run of same-link
+    /// entries — `reserved` is grouped by link by construction).
     pub fn free(&mut self, alloc: &SlotAllocation) {
-        for &(link, slot) in &alloc.reserved {
+        let mut i = 0;
+        while i < alloc.reserved.len() {
+            let link = alloc.reserved[i].0;
+            let mut mask = 0u64;
+            while i < alloc.reserved.len() && alloc.reserved[i].0 == link {
+                mask |= 1 << alloc.reserved[i].1;
+                i += 1;
+            }
             if let Some(m) = self.occupancy.get_mut(&link) {
-                *m &= !(1 << slot);
+                *m &= !mask;
             }
         }
     }

@@ -276,9 +276,11 @@ impl Clocked for NocSystem {
 
     /// The system is quiescent when every IP is idle (done, or dormant
     /// until a known future cycle — [`MasterIp::idle_until`] and friends),
-    /// every shell stack and NI kernel is drained, and the network carries
-    /// nothing — then only time-derived counters (cycle,
-    /// reserved-but-unused GT slots) can change, which
+    /// every shell stack is drained, every NI kernel is dormant (strictly
+    /// drained, or holding only GT data that cannot move before its next
+    /// reserved slot), and the network carries nothing except scheduled GT
+    /// emissions waiting for their due cycle — then only time-derived
+    /// counters (cycle, reserved-but-unused GT slots) can change, which
     /// [`skip`](Clocked::skip) computes directly, and nothing else can
     /// happen before [`next_event`](Clocked::next_event).
     fn quiescent(&self) -> bool {
@@ -286,7 +288,10 @@ impl Clocked for NocSystem {
         self.masters.iter().all(|b| b.ip.idle_until(now) > now)
             && self.slaves.iter().all(|b| b.ip.idle_until(now) > now)
             && self.raws.iter().all(|b| b.ip.idle_until(now) > now)
-            && self.nis.iter().all(ClockedWith::quiescent)
+            && self
+                .nis
+                .iter()
+                .all(|ni| ClockedWith::dormant_until(ni, now) > now)
             && self.noc.quiescent()
     }
 
@@ -298,10 +303,11 @@ impl Clocked for NocSystem {
         self.noc.skip(cycles);
     }
 
-    /// The earliest cycle at which any bound IP could act on its own, each
+    /// The earliest cycle at which anything could act on its own: each
     /// IP's `idle_until` rounded up to its port clock's next edge (an IP is
-    /// only ticked on edges, so nothing can happen in between). The NIs and
-    /// the network contribute no spontaneous events while quiescent.
+    /// only ticked on edges, so nothing can happen in between), each NI
+    /// kernel's dormancy horizon (the next reserved GT slot with sendable
+    /// data), and the network's earliest scheduled GT due cycle.
     fn next_event(&self, now: u64) -> u64 {
         fn at_edge(clock: ClockDomain, at: u64) -> u64 {
             if at == u64::MAX {
@@ -310,7 +316,7 @@ impl Clocked for NocSystem {
                 clock.next_edge(at)
             }
         }
-        let mut horizon = u64::MAX;
+        let mut horizon = self.noc.next_event(now);
         for b in &self.masters {
             horizon = horizon.min(at_edge(b.clock, b.ip.idle_until(now)));
         }
@@ -319,6 +325,9 @@ impl Clocked for NocSystem {
         }
         for b in &self.raws {
             horizon = horizon.min(at_edge(b.clock, b.ip.idle_until(now)));
+        }
+        for ni in &self.nis {
+            horizon = horizon.min(ClockedWith::dormant_until(ni, now));
         }
         horizon
     }

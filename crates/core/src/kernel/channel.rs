@@ -199,6 +199,14 @@ impl Channel {
         noc_sim::Path::peek_encoded(self.path_bits()).is_some()
     }
 
+    /// Whether every queued source word has completed its clock-domain
+    /// crossing at `now` — the visible count can then only grow by new
+    /// pushes, so the channel's eligibility cannot change spontaneously
+    /// (the precondition of the kernel's GT-slot dormancy reporting).
+    pub fn fully_visible(&self, now: u64) -> bool {
+        self.src_q.sync_level(now) == self.src_q.level()
+    }
+
     /// Whether the scheduler should consider this channel at all.
     pub fn eligible(&self, now: u64) -> bool {
         self.enabled

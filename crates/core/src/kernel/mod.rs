@@ -646,6 +646,57 @@ impl NiKernel {
         }
     }
 
+    /// The first slot boundary at or after `now` whose slot is reserved for
+    /// `ch`, or `u64::MAX` when the channel owns no slot.
+    fn next_owned_boundary(&self, ch: ChannelId, now: u64) -> u64 {
+        let stu = self.spec.stu_slots as u64;
+        let first = now.div_ceil(SLOT_WORDS);
+        for k in 0..stu {
+            if self.slot_table[((first + k) % stu) as usize] == (ch as u32) + 1 {
+                return (first + k) * SLOT_WORDS;
+            }
+        }
+        u64::MAX
+    }
+
+    /// GT-slot dormancy: when the only thing keeping the kernel from strict
+    /// quiescence is *fully visible, immediately eligible* data queued on GT
+    /// channels, nothing can happen before the earliest reserved slot of
+    /// those channels — every tick up to there finds no slot owner with
+    /// sendable data (reserved-but-unused slots are exactly what
+    /// [`skip`](ClockedWith::skip) accounts for arithmetically). Returns
+    /// that boundary, `None` when the kernel is genuinely active or holds
+    /// state this analysis does not cover (partially visible words,
+    /// threshold-gated or credit-starved channels, pending credits, staged
+    /// words, CNIP output).
+    fn gt_slot_horizon(&self, now: u64) -> Option<u64> {
+        if !self.tx_gt.is_empty()
+            || !self.tx_be.is_empty()
+            || self.cnip.as_ref().is_some_and(|c| !c.out.is_empty())
+        {
+            return None;
+        }
+        let mut horizon = u64::MAX;
+        for c in &self.channels {
+            if !c.dst_q.is_empty() || c.credit_counter != 0 {
+                return None;
+            }
+            if c.src_q.is_empty() {
+                continue;
+            }
+            let covered = c.gt
+                && c.enabled
+                && c.route_configured()
+                && c.fully_visible(now)
+                && c.data_eligible(now);
+            if !covered {
+                return None;
+            }
+            horizon = horizon.min(self.next_owned_boundary(c.id(), now));
+        }
+        Some(horizon)
+    }
+
     fn stage_word(&mut self, link: &mut NiLink) {
         if link.is_busy() {
             return;
@@ -693,19 +744,36 @@ impl ClockedWith<NiLink> for NiKernel {
     /// slot accounting is handled arithmetically by
     /// [`skip`](ClockedWith::skip), and slot-table due times only matter
     /// once data is queued — which already blocks quiescence. The horizon
-    /// is therefore unbounded; per-NI activity composes into the region
-    /// horizon purely through `quiescent`.
+    /// is therefore unbounded; bounded horizons for queued-but-unsendable
+    /// GT data are reported through
+    /// [`dormant_until`](ClockedWith::dormant_until) instead.
     fn next_event(&self, now: u64) -> u64 {
         let _ = now;
         u64::MAX
     }
 
-    /// Slot-table-aware time skip: while quiescent, the only per-cycle
-    /// effect is one `gt_slots_unused` event per reserved slot whose
-    /// boundary is crossed — counted here by walking the slot table once
-    /// instead of ticking `cycles` times.
+    /// Strictly quiescent → unbounded; otherwise the GT-slot dormancy
+    /// horizon (see `NiKernel::gt_slot_horizon`): queued GT data that is
+    /// fully visible and immediately eligible cannot move before its
+    /// channel's next reserved slot, so a region draining a GT stream
+    /// sleeps between its slots instead of ticking through them.
+    fn dormant_until(&self, now: u64) -> u64 {
+        if ClockedWith::<NiLink>::quiescent(self) {
+            return u64::MAX;
+        }
+        self.gt_slot_horizon(now).unwrap_or(now)
+    }
+
+    /// Slot-table-aware time skip: while quiescent (or GT-slot dormant —
+    /// the span then ends at or before the dormancy horizon), the only
+    /// per-cycle effect is one `gt_slots_unused` event per reserved slot
+    /// whose boundary is crossed — counted here by walking the slot table
+    /// once instead of ticking `cycles` times.
     fn skip(&mut self, from_cycle: u64, cycles: u64) {
-        debug_assert!(ClockedWith::<NiLink>::quiescent(self));
+        debug_assert!(
+            ClockedWith::<NiLink>::dormant_until(self, from_cycle)
+                >= from_cycle.saturating_add(cycles)
+        );
         // Slot boundaries in [0, n) number ceil(n / SLOT_WORDS).
         let boundaries_before = from_cycle.div_ceil(SLOT_WORDS);
         let boundaries = (from_cycle + cycles).div_ceil(SLOT_WORDS) - boundaries_before;

@@ -253,6 +253,16 @@ impl ClockedWith<NiLink> for Ni {
     fn next_event(&self, now: u64) -> u64 {
         ClockedWith::<NiLink>::next_event(&self.kernel, now)
     }
+
+    /// Shells hold no time-driven state, so the NI is dormant exactly when
+    /// its stacks are idle and its kernel reports dormancy (strict
+    /// quiescence, or queued GT data waiting for its next reserved slot).
+    fn dormant_until(&self, now: u64) -> u64 {
+        if !self.stacks_idle() {
+            return now;
+        }
+        ClockedWith::<NiLink>::dormant_until(&self.kernel, now)
+    }
 }
 
 #[cfg(test)]

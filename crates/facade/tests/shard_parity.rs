@@ -102,10 +102,12 @@ fn scenario(pattern: Pattern) -> Scenario {
         },
     )
     .expect("GT connection opens");
-    // Settle: the split point requires a drained network; the reference run
-    // settles identically so the two executions stay cycle-aligned.
+    // Settle: the split point requires a drained network (quiescence alone
+    // would admit GT calendar entries still waiting for their due cycle);
+    // the reference run settles identically so the two executions stay
+    // cycle-aligned.
     assert!(
-        Engine::run_until(&mut sys, |s| s.noc.quiescent(), 2_000),
+        Engine::run_until(&mut sys, |s| s.noc.drained(), 2_000),
         "configuration traffic must drain"
     );
     let mut masters = Vec::new();
@@ -222,14 +224,14 @@ fn reference(pattern: Pattern) -> (Observed, Vec<(usize, usize)>) {
     (o, masters)
 }
 
-fn sharded_run(pattern: Pattern, shards: usize, parallel: bool) -> Observed {
+fn sharded_run_batched(pattern: Pattern, shards: usize, parallel: bool, batch: u64) -> Observed {
     let s = scenario(pattern);
     let partition = if shards == 1 {
         Partition::single(s.topo.router_count())
     } else {
         Partition::mesh_rows(4, 4, shards)
     };
-    let mut sharded = ShardedSystem::new(s.sys, &s.topo, &partition);
+    let mut sharded = ShardedSystem::new(s.sys, &s.topo, &partition).with_batch(batch);
     assert_eq!(sharded.shard_count(), shards);
     if parallel {
         sharded.run_parallel(HORIZON);
@@ -237,6 +239,10 @@ fn sharded_run(pattern: Pattern, shards: usize, parallel: bool) -> Observed {
         sharded.run(HORIZON);
     }
     observe_sharded(&sharded, &s.masters, s.sink)
+}
+
+fn sharded_run(pattern: Pattern, shards: usize, parallel: bool) -> Observed {
+    sharded_run_batched(pattern, shards, parallel, 1)
 }
 
 #[test]
@@ -279,6 +285,30 @@ fn worker_thread_execution_is_bit_identical() {
     assert_eq!(sharded, hotspot_ref, "parallel 4-shard run diverged");
 }
 
+/// The batch size is a pure performance knob: for every `B`, in both
+/// execution modes, the sharded run is bit-identical to the unsplit
+/// reference — including boundary-credit pressure and wormhole blocking
+/// (the hotspot pattern saturates one destination NI from both sides of
+/// every cut, so worms block mid-flight across shard boundaries and the
+/// boundary credit return engages continuously).
+#[test]
+fn batched_execution_is_bit_identical_for_all_batch_sizes() {
+    let (uniform_ref, _) = reference(Pattern::Uniform);
+    let (hotspot_ref, _) = reference(Pattern::Hotspot);
+    for batch in [2u64, 3, 7, 16] {
+        let sharded = sharded_run_batched(Pattern::Uniform, 2, false, batch);
+        assert_eq!(sharded, uniform_ref, "uniform seq batch {batch} diverged");
+        let sharded = sharded_run_batched(Pattern::Hotspot, 4, false, batch);
+        assert_eq!(sharded, hotspot_ref, "hotspot seq batch {batch} diverged");
+    }
+    for batch in [7u64, 16] {
+        let sharded = sharded_run_batched(Pattern::Uniform, 2, true, batch);
+        assert_eq!(sharded, uniform_ref, "uniform par batch {batch} diverged");
+        let sharded = sharded_run_batched(Pattern::Hotspot, 4, true, batch);
+        assert_eq!(sharded, hotspot_ref, "hotspot par batch {batch} diverged");
+    }
+}
+
 /// The activity-set machinery must actually engage: once every workload is
 /// done, all regions leave the activity set, and the remaining span is
 /// covered by per-region skips while the global counters stay exact.
@@ -299,6 +329,91 @@ fn drained_regions_leave_the_activity_set_and_stay_exact() {
         "skips stay cycle-exact"
     );
     assert_eq!(after.delivered, before.delivered, "sleep moves no words");
+}
+
+/// GT-slot dormancy: queued GT data that can only move at its channel's
+/// reserved slots makes the system quiescent *with a bounded horizon* —
+/// the next reserved slot — so the engine (and the shard scheduler) sleeps
+/// through the slot-table rotation instead of ticking it, bit-identically.
+#[test]
+fn gt_slot_dormancy_sleeps_between_reserved_slots() {
+    use aethereal::ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
+    use aethereal::ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
+    use aethereal::proto::{StreamSink, StreamSource};
+    let build = || {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 1,
+            },
+            vec![presets::raw_ni(0, 1), presets::raw_ni(1, 1)],
+        );
+        let topo = spec.topology.build();
+        let mut sys = NocSystem::from_spec(&spec);
+        let p01 = topo.route(0, 1).unwrap();
+        let p10 = topo.route(1, 0).unwrap();
+        {
+            let k = &mut sys.nis[0].kernel;
+            k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE | CTRL_GT)
+                .unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(&p01, 1))
+                .unwrap();
+            // One slot of eight: long dormant stretches between sends.
+            k.reg_write(slot_reg_addr(0), 2).unwrap();
+        }
+        {
+            let k = &mut sys.nis[1].kernel;
+            k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE)
+                .unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(&p10, 1))
+                .unwrap();
+        }
+        sys.bind_raw(0, 1, vec![1], Box::new(StreamSource::counting(6)));
+        sys.bind_raw(1, 1, vec![1], Box::new(StreamSink::new()));
+        sys
+    };
+    // The dormancy engages: the system reports quiescence with GT data
+    // still queued, and a bounded horizon (the next reserved slot).
+    let mut probe = build();
+    let met = Engine::run_until(
+        &mut probe,
+        |s| Clocked::quiescent(s) && s.nis[0].kernel.channel(1).src_level() > 0,
+        2_000,
+    );
+    assert!(met, "system must go dormant with queued GT data");
+    let now = probe.cycle();
+    let horizon = probe.next_event(now);
+    assert!(
+        horizon > now && horizon != u64::MAX,
+        "queued GT data must bound the horizon (got {horizon} at {now})"
+    );
+    // And sleeping to that horizon is exact: bit-identical to ticking.
+    let mut by_tick = build();
+    for _ in 0..2_000 {
+        Engine::tick(&mut by_tick);
+    }
+    let mut by_run = build();
+    by_run.run(2_000);
+    assert_eq!(by_tick.noc.stats(), by_run.noc.stats());
+    assert_eq!(
+        by_tick
+            .nis
+            .iter()
+            .map(|n| *n.kernel.stats())
+            .collect::<Vec<_>>(),
+        by_run
+            .nis
+            .iter()
+            .map(|n| *n.kernel.stats())
+            .collect::<Vec<_>>()
+    );
+    let sink_a = by_tick.raw_ip_as::<StreamSink>(1);
+    let sink_b = by_run.raw_ip_as::<StreamSink>(1);
+    assert_eq!(sink_a.received(), sink_b.received());
+    assert_eq!(sink_a.received().len(), 6, "stream fully delivered");
 }
 
 /// The per-IP activity horizon: a paced generator's gap makes the *system*

@@ -224,6 +224,25 @@ pub trait ClockedWith<Ctx: ?Sized> {
         let _ = now;
         u64::MAX
     }
+
+    /// The earliest base cycle ≥ `now` at which this endpoint could act
+    /// without external input — `now` itself while active. Unlike the
+    /// [`quiescent`](ClockedWith::quiescent)/[`next_event`](ClockedWith::next_event)
+    /// pair, this may report a *bounded* horizon for an endpoint that still
+    /// holds state, as long as every tick strictly before the horizon is a
+    /// no-op: the NI kernel uses it to report the next reserved slot at
+    /// which queued GT data becomes sendable, so a region draining a GT
+    /// stream can sleep between its slots instead of ticking through them.
+    ///
+    /// Implementors overriding this must keep [`skip`](ClockedWith::skip)
+    /// exact over any span that ends at or before the reported horizon.
+    fn dormant_until(&self, now: u64) -> u64 {
+        if self.quiescent() {
+            self.next_event(now)
+        } else {
+            now
+        }
+    }
 }
 
 /// The single generic cycle driver.

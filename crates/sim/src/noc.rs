@@ -132,6 +132,15 @@ pub struct Noc {
     boundaries: Vec<BoundaryPort>,
     /// `boundary_at[router][port] = boundary id` for boundary ports.
     boundary_at: Vec<Vec<Option<usize>>>,
+    /// Boundary ids whose outbound side was written this cycle (words or
+    /// credits) — the dirty list the shard runner drains between the global
+    /// emit and absorb phases, so wires with no traffic cost zero exchange
+    /// work.
+    dirty_out: Vec<usize>,
+    /// Boundary ids with delivered inbound traffic awaiting this cycle's
+    /// absorb — the ingress mirror of `dirty_out`: absorb registers exactly
+    /// these instead of scanning every boundary.
+    dirty_in: Vec<usize>,
     /// Construction parameters, kept so [`Noc::split`] can rebuild
     /// identically-configured shard networks.
     config: NocConfig,
@@ -155,8 +164,12 @@ struct BoundaryPort {
     port: PortIdx,
     out_word: Option<LinkWord>,
     out_credits: u32,
+    /// Whether this boundary is on the [`Noc::dirty_out`] list.
+    out_dirty: bool,
     in_word: Option<LinkWord>,
     in_credits: u32,
+    /// Whether this boundary is on the [`Noc::dirty_in`] list.
+    in_dirty: bool,
     /// Ingress tally: words absorbed from the remote side. Stands in for
     /// the cut directed link's [`LinkStats`] entry.
     stats: LinkStats,
@@ -262,6 +275,8 @@ impl Noc {
             ni_links,
             boundaries: Vec::new(),
             boundary_at,
+            dirty_out: Vec::new(),
+            dirty_in: Vec::new(),
             config,
             cycle: 0,
             stats: NocStats::new(n_links),
@@ -333,8 +348,9 @@ impl Noc {
 
     /// Declares the unwired `(router, port)` as a shard-boundary
     /// attachment: the local half of an inter-router link that was cut by a
-    /// [`Partition`]. Returns the boundary id used with
-    /// [`Noc::take_boundary_out`] / [`Noc::put_boundary_in`].
+    /// [`Partition`]. Returns the boundary id surfaced by
+    /// [`Noc::take_dirty_boundary`] and used with
+    /// [`Noc::put_boundary_in`].
     ///
     /// The port's output is granted the standard inter-router BE credit
     /// budget (the remote input queue's capacity).
@@ -358,8 +374,10 @@ impl Noc {
             port,
             out_word: None,
             out_credits: 0,
+            out_dirty: false,
             in_word: None,
             in_credits: 0,
+            in_dirty: false,
             stats: LinkStats::default(),
         });
         self.boundary_at[router][p] = Some(id);
@@ -372,13 +390,27 @@ impl Noc {
         self.boundaries.len()
     }
 
-    /// Takes this cycle's outbound boundary traffic: the word the local
-    /// router emitted through the cut port (if any) and the link-level BE
-    /// credits its input earned for the remote producer. Called by the
-    /// shard runner between the global emit and absorb phases.
-    pub fn take_boundary_out(&mut self, b: usize) -> (Option<LinkWord>, u32) {
+    /// Takes one dirty boundary's outbound traffic — the boundary id plus
+    /// the word and credits its emit phase produced this cycle — or `None`
+    /// when every cut wire is quiet. The shard runner drains this between
+    /// the global emit and absorb phases; boundaries with no traffic never
+    /// appear, so quiet wires cost nothing.
+    pub fn take_dirty_boundary(&mut self) -> Option<(usize, Option<LinkWord>, u32)> {
+        let b = self.dirty_out.pop()?;
         let bp = &mut self.boundaries[b];
-        (bp.out_word.take(), std::mem::take(&mut bp.out_credits))
+        debug_assert!(bp.out_dirty);
+        bp.out_dirty = false;
+        Some((b, bp.out_word.take(), std::mem::take(&mut bp.out_credits)))
+    }
+
+    /// Marks boundary `b` dirty (first outbound write this cycle appends it
+    /// to the drain list).
+    #[inline]
+    fn mark_boundary_dirty(boundaries: &mut [BoundaryPort], dirty_out: &mut Vec<usize>, b: usize) {
+        if !boundaries[b].out_dirty {
+            boundaries[b].out_dirty = true;
+            dirty_out.push(b);
+        }
     }
 
     /// Delivers the remote side's outbound traffic for this cycle; the
@@ -395,6 +427,10 @@ impl Noc {
             bp.in_word = word;
         }
         bp.in_credits += credits;
+        if !bp.in_dirty && (bp.in_word.is_some() || bp.in_credits > 0) {
+            bp.in_dirty = true;
+            self.dirty_in.push(b);
+        }
     }
 
     /// Ingress tally of boundary `b`: the words absorbed from the remote
@@ -430,8 +466,9 @@ impl Noc {
             "cannot split an already-sharded network"
         );
         assert!(
-            Clocked::quiescent(&self),
-            "split requires a drained network (wires, routers and NI handles empty)"
+            self.drained(),
+            "split requires a drained network (wires, routers, GT calendars \
+             and NI handles empty)"
         );
         partition
             .validate(topology)
@@ -514,6 +551,43 @@ impl Noc {
         out
     }
 
+    /// Whether nothing at all is in flight: all wires idle, all routers
+    /// fully drained (GT calendars included), no staged NI word, no
+    /// undrained NI inbox and no pending boundary traffic. This is the
+    /// strict precondition of [`Noc::split`]; the [`Clocked::quiescent`]
+    /// notion is weaker — it also holds while scheduled GT emissions wait
+    /// for their due cycle.
+    pub fn drained(&self) -> bool {
+        self.routers.iter().all(Router::idle) && self.calendar_dormant()
+    }
+
+    /// The non-router part of quiescence: wires, NI handles and boundaries
+    /// all empty, routers holding at most scheduled GT emissions.
+    fn calendar_dormant(&self) -> bool {
+        self.routers.iter().all(Router::calendar_idle)
+            && self.links.iter().all(|l| l.wire.is_none())
+            && self
+                .ni_links
+                .iter()
+                .all(|h| h.outgoing.is_none() && h.incoming.is_empty())
+            && self.boundaries.iter().all(|b| {
+                b.out_word.is_none()
+                    && b.in_word.is_none()
+                    && b.out_credits == 0
+                    && b.in_credits == 0
+            })
+    }
+
+    /// The earliest due cycle across every router's GT calendar (`u64::MAX`
+    /// when all calendars are empty).
+    pub fn next_gt_due(&self) -> u64 {
+        self.routers
+            .iter()
+            .map(Router::next_gt_due)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
     /// Advances the network by one cycle (emit, then absorb — a thin
     /// wrapper over [`Engine::tick`]).
     pub fn tick(&mut self) {
@@ -548,6 +622,7 @@ impl Clocked for Noc {
                 } else if let Some(b) = self.boundary_at[r][e.port as usize] {
                     debug_assert!(self.boundaries[b].out_word.is_none());
                     self.boundaries[b].out_word = Some(e.word);
+                    Self::mark_boundary_dirty(&mut self.boundaries, &mut self.dirty_out, b);
                 }
             }
             for &input in &result.be_dequeues {
@@ -557,6 +632,7 @@ impl Clocked for Noc {
                 // like the wired-link return below.
                 if let Some(b) = self.boundary_at[r][input as usize] {
                     self.boundaries[b].out_credits += 1;
+                    Self::mark_boundary_dirty(&mut self.boundaries, &mut self.dirty_out, b);
                 } else {
                     self.scratch.credit_returns.push((r, input));
                 }
@@ -579,13 +655,15 @@ impl Clocked for Noc {
     fn absorb(&mut self) {
         let cycle = self.cycle;
         // Boundary ingress: words and credits the shard runner delivered
-        // from remote shards register exactly like wired-link arrivals.
-        for b in 0..self.boundaries.len() {
-            let (r, p) = (self.boundaries[b].router, self.boundaries[b].port);
-            if let Some(word) = self.boundaries[b].in_word.take() {
-                self.boundaries[b]
-                    .stats
-                    .record(word.class(), word.is_header());
+        // from remote shards register exactly like wired-link arrivals
+        // (only boundaries that actually received something are visited).
+        while let Some(b) = self.dirty_in.pop() {
+            let bp = &mut self.boundaries[b];
+            debug_assert!(bp.in_dirty);
+            bp.in_dirty = false;
+            let (r, p) = (bp.router, bp.port);
+            if let Some(word) = bp.in_word.take() {
+                bp.stats.record(word.class(), word.is_header());
                 self.routers[r].absorb(p, word, cycle);
             }
             for _ in 0..std::mem::take(&mut self.boundaries[b].in_credits) {
@@ -630,25 +708,30 @@ impl Clocked for Noc {
         self.stats.cycles = self.cycle;
     }
 
-    /// The network is quiescent when nothing is in flight anywhere: all
-    /// wires idle, all routers drained, no staged NI word and no undrained
-    /// NI inbox. A tick then changes only the cycle counter.
+    /// The network is quiescent when a tick can change only time-derived
+    /// counters: all wires idle, no staged NI word, no undrained NI inbox,
+    /// no pending boundary traffic, and every router either fully drained
+    /// or holding only *scheduled GT emissions whose due cycle has not
+    /// arrived*. Pending calendars do not block quiescence — they are pure
+    /// timetables, untouched by ticks before their due cycle — but the
+    /// earliest due cycle caps [`Clocked::next_event`], so no driver ever
+    /// skips a due emission (the calendar-sleep path).
     fn quiescent(&self) -> bool {
-        self.routers.iter().all(Router::idle)
-            && self.links.iter().all(|l| l.wire.is_none())
-            && self
-                .ni_links
-                .iter()
-                .all(|h| h.outgoing.is_none() && h.incoming.is_empty())
-            && self.boundaries.iter().all(|b| {
-                b.out_word.is_none()
-                    && b.in_word.is_none()
-                    && b.out_credits == 0
-                    && b.in_credits == 0
-            })
+        self.calendar_dormant() && self.next_gt_due() > self.cycle
+    }
+
+    /// The earliest scheduled GT due cycle — the only spontaneous future
+    /// event a quiescent network can have (`u64::MAX` when fully drained).
+    fn next_event(&self, now: u64) -> u64 {
+        let _ = now;
+        self.next_gt_due()
     }
 
     fn skip(&mut self, cycles: u64) {
+        debug_assert!(
+            self.next_gt_due() >= self.cycle.saturating_add(cycles),
+            "skip past a scheduled GT emission"
+        );
         self.cycle += cycles;
         self.stats.cycles = self.cycle;
         self.stats.gt_conflicts = self.gt_conflicts();

@@ -204,9 +204,32 @@ impl Router {
     /// emissions and no header held for gateway rewrite — a tick of an idle
     /// router moves nothing.
     pub fn idle(&self) -> bool {
-        self.be_q.iter().all(Ring::is_empty)
-            && self.gt_cal.iter().all(Ring::is_empty)
-            && self.gt_hold.iter().all(Option::is_none)
+        self.calendar_idle() && self.gt_cal.iter().all(Ring::is_empty)
+    }
+
+    /// Whether the only state the router holds is its GT calendars: no
+    /// queued BE words and no header held for gateway rewrite. Such a
+    /// router does nothing until [`Router::next_gt_due`] — the basis of the
+    /// calendar-sleep path in [`crate::shard`] and
+    /// [`Engine::run`](crate::engine::Engine::run).
+    pub fn calendar_idle(&self) -> bool {
+        self.be_q.iter().all(Ring::is_empty) && self.gt_hold.iter().all(Option::is_none)
+    }
+
+    /// The earliest due cycle across all scheduled GT emissions, or
+    /// `u64::MAX` when every calendar is empty. Each per-output calendar is
+    /// due-ordered, so only the fronts of the ready outputs are consulted.
+    pub fn next_gt_due(&self) -> u64 {
+        let mut due = u64::MAX;
+        let mut rest = self.gt_mask;
+        while rest != 0 {
+            let out = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if let Some(ev) = self.gt_cal[out].front() {
+                due = due.min(ev.due);
+            }
+        }
+        due
     }
 
     /// Installs the next route segment of a continuation word into a held
