@@ -14,16 +14,18 @@
 //! slots as evenly as possible, while [`SlotStrategy::Consecutive`] favours
 //! long multi-flit packets (lower header overhead).
 //!
-//! **Two-level routes** ([`noc_sim::Route`]): every gateway rewrite delays
-//! the packet by one cycle, so downstream of `g` rewrites the words of a
-//! connection injected in slot `s` occupy slot `s + h + g/3` — and spill
-//! one cycle into the *next* slot whenever `g` is not a whole number of
-//! slots (`g mod 3 ≠ 0`). [`SlotAllocator::allocate_route`] reserves both
-//! affected slots on such links, keeping the router-level contention check
-//! (`gt_conflicts == 0`) exact at the price of one conservative extra slot
-//! per partially-shifted link.
+//! **Two-level routes** ([`noc_sim::Route`]): every gateway rewrite is
+//! aligned to the slot grid by the router (the rewritten worm leaves one
+//! whole slot, not one cycle, later than a plain hop — see
+//! [`noc_sim::Router`]), so downstream of `g` rewrites the words of a
+//! connection injected in slot `s` occupy exactly slot `s + h + g`.
+//! [`SlotAllocator::allocate_route`] therefore reserves one slot per link
+//! — the conservative base + spill pair that a fractional-slot rewrite
+//! delay used to force is gone, halving the post-gateway footprint of
+//! every two-level GT connection while keeping the router-level
+//! contention check (`gt_conflicts == 0`) exact.
 
-use noc_sim::{NiId, Path, PortIdx, Route, Topology, SLOT_WORDS};
+use noc_sim::{NiId, Path, PortIdx, Route, Topology};
 use std::collections::HashMap;
 
 /// A directed link for slot bookkeeping: `(router, output port)`, with the
@@ -159,14 +161,12 @@ impl SlotAllocator {
     }
 
     /// The pipeline shift of the link at hop `h` after `g` gateway
-    /// rewrites, and whether the accumulated delay spills one cycle into
-    /// the next slot (`g` not a whole number of slots).
+    /// rewrites: one slot per hop plus one whole slot per rewrite (the
+    /// router aligns each rewrite to the slot grid, so the shift is always
+    /// a whole number of slots).
     #[inline]
-    fn link_shift(h: usize, g: u32) -> (usize, bool) {
-        (
-            h + (u64::from(g) / SLOT_WORDS) as usize,
-            !u64::from(g).is_multiple_of(SLOT_WORDS),
-        )
+    fn link_shift(h: usize, g: u32) -> usize {
+        h + g as usize
     }
 
     /// Rotates an occupancy mask right by `k` within `stu` bits: bit `s` of
@@ -200,9 +200,9 @@ impl SlotAllocator {
     }
 
     /// Reserves `n_slots` slots for a GT connection from NI `from` along a
-    /// (possibly multi-segment) `route`, absorbing the one-cycle delay of
-    /// every gateway rewrite (see the module docs). For single-segment
-    /// routes this is exactly [`SlotAllocator::allocate`].
+    /// (possibly multi-segment) `route`, absorbing the whole-slot delay of
+    /// every slot-aligned gateway rewrite (see the module docs). For
+    /// single-segment routes this is exactly [`SlotAllocator::allocate`].
     ///
     /// # Errors
     ///
@@ -240,11 +240,8 @@ impl SlotAllocator {
             if occ == 0 {
                 continue;
             }
-            let (shift, spill) = Self::link_shift(h, g);
+            let shift = Self::link_shift(h, g);
             feasible &= !Self::rotr(occ, shift, stu);
-            if spill {
-                feasible &= !Self::rotr(occ, shift + 1, stu);
-            }
         }
         let available = feasible.count_ones() as usize;
         if available < n_slots {
@@ -279,19 +276,14 @@ impl SlotAllocator {
             }
         }
         // Commit: one occupancy entry per link, all chosen slots at once.
-        let mut reserved = Vec::with_capacity(chosen.len() * links.len() * 2);
+        let mut reserved = Vec::with_capacity(chosen.len() * links.len());
         for (h, &(link, g)) in links.iter().enumerate() {
-            let (shift, spill) = Self::link_shift(h, g);
+            let shift = Self::link_shift(h, g);
             let occ = self.occupancy.entry(link).or_insert(0);
             for &s in &chosen {
                 let base = (s + shift) % stu;
                 *occ |= 1 << base;
                 reserved.push((link, base));
-                if spill {
-                    let next = (base + 1) % stu;
-                    *occ |= 1 << next;
-                    reserved.push((link, next));
-                }
             }
         }
         Ok(SlotAllocation {
@@ -455,7 +447,7 @@ mod tests {
     }
 
     #[test]
-    fn allocate_route_reserves_spill_slot_after_gateway() {
+    fn allocate_route_shifts_one_whole_slot_per_gateway() {
         let topo = Topology::mesh(8, 8, 1);
         let mut alloc = SlotAllocator::new(8);
         let route = topo.route_any(0, 63).unwrap(); // segments 7 E, 7 S, eject
@@ -465,9 +457,16 @@ mod tests {
         assert_eq!(a.injection_slots.len(), 1);
         // Before the first gateway (router 7): exactly one slot per link.
         assert_eq!(alloc.reserved_on((0, noc_sim::topology::dir::EAST)), 1);
-        // After one gateway rewrite the packet is one cycle late: base +
-        // spill slot on the first southbound link.
-        assert_eq!(alloc.reserved_on((7, noc_sim::topology::dir::SOUTH)), 2);
+        // After one slot-aligned gateway rewrite the packet is one whole
+        // slot late: still exactly one slot on the first southbound link
+        // (the pre-alignment allocator needed a base + spill pair here).
+        assert_eq!(alloc.reserved_on((7, noc_sim::topology::dir::SOUTH)), 1);
+        let s = a.injection_slots[0];
+        assert!(
+            a.reserved
+                .contains(&((7, noc_sim::topology::dir::SOUTH), (s + 9) % 8)),
+            "hop 8 plus one whole gateway slot"
+        );
         alloc.free(&a);
         assert_eq!(alloc.reserved_on((7, noc_sim::topology::dir::SOUTH)), 0);
     }
@@ -487,9 +486,8 @@ mod tests {
         let b = alloc
             .allocate_route(&topo, 15, &short, 2, SlotStrategy::Spread)
             .unwrap();
-        // Within one allocation duplicates are legal (the spill of lane s
-        // meeting lane s+1 of the same connection); across allocations they
-        // are not.
+        // Across allocations every (link, slot) pair must be single-owner,
+        // including the whole-slot gateway shifts.
         for (link, slot) in &a.reserved {
             assert!(
                 !b.reserved.contains(&(*link, *slot)),

@@ -66,6 +66,7 @@ pub mod rng;
 pub mod router;
 pub mod shard;
 pub mod stats;
+pub mod sync;
 pub mod topology;
 pub mod word;
 
@@ -79,6 +80,7 @@ pub use rng::Rng64;
 pub use router::Router;
 pub use shard::{NocShard, Partition, ShardRegion, ShardRunner};
 pub use stats::{LinkStats, NocStats};
+pub use sync::{StdSync, SyncFamily};
 pub use topology::{
     Endpoint, NiId, RegionError, Regions, RouteLink, RouterId, Topology, TopologyKind,
 };

@@ -1097,7 +1097,7 @@ mod tests {
     }
 
     #[test]
-    fn gt_two_level_route_latency_adds_one_cycle_per_gateway() {
+    fn gt_two_level_route_latency_adds_one_slot_per_gateway() {
         let topo = Topology::mesh(8, 8, 1);
         let mut noc = Noc::new(&topo);
         let route = topo.route_any(0, 63).unwrap();
@@ -1112,10 +1112,11 @@ mod tests {
                 arrival = Some(noc.cycle() - 1);
             }
         }
-        // 15 hops at one slot each, plus one held cycle per gateway rewrite.
+        // 15 hops at one slot each, plus one whole (slot-aligned) slot per
+        // gateway rewrite.
         assert_eq!(
             arrival,
-            Some(start + 15 * SLOT_WORDS + route.gateway_count() as u64)
+            Some(start + (15 + route.gateway_count() as u64) * SLOT_WORDS)
         );
         let got = drain(&mut noc, 63);
         assert_eq!(got.len(), 2, "continuations consumed en route");

@@ -114,6 +114,18 @@ impl<T: Copy> Ring<T> {
         }
     }
 
+    /// Mutable access at offset `i` from the front (0 = oldest), if
+    /// occupied.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i >= self.len {
+            None
+        } else {
+            let idx = (self.head + i) % self.buf.len();
+            self.buf[idx].as_mut()
+        }
+    }
+
     /// The newest value, if any.
     #[inline]
     pub fn back(&self) -> Option<&T> {

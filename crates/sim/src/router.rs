@@ -22,10 +22,15 @@
 //! router as the route's gateway. The router holds the header, consumes the
 //! next word of the worm — the *continuation word* carrying the next path
 //! segment — and re-emits the header with that segment installed (upper
-//! header bits preserved, first hop consumed as usual). The rewrite costs
-//! one cycle and shortens the packet by one word; it works identically for
-//! GT (hold in [`Router::absorb`]) and BE (hold at the input-queue head in
-//! [`Router::emit`]). Traffic whose route fits one header never exhausts at
+//! header bits preserved, first hop consumed as usual). The rewrite
+//! shortens the packet by one word. For **GT** (hold in
+//! [`Router::absorb`]) it is aligned to the slot grid: the rewritten
+//! header and every word behind it leave one whole slot ([`SLOT_WORDS`]
+//! cycles) later than a plain hop, so downstream slot occupancy shifts by
+//! whole slots and the centralized allocator reserves exactly one slot
+//! per link — never a spill pair. For **BE** (elastic, no slots; hold at
+//! the input-queue head in [`Router::emit`]) the rewrite costs one cycle.
+//! Traffic whose route fits one header never exhausts at
 //! a router, so the seed behavior is untouched. BE gateway rewrites need
 //! the header and its continuation queued together, so BE input queues
 //! must hold at least 2 words for two-level BE traffic (the default is 8).
@@ -62,8 +67,16 @@ pub struct Router {
     /// Per input: a GT header held for gateway rewrite (path exhausted
     /// here; the next word of the worm carries the next route segment).
     gt_hold: Vec<Option<LinkWord>>,
+    /// Per input: extra forwarding delay of the in-flight GT worm, in
+    /// cycles. A gateway rewrite is aligned to the next slot boundary —
+    /// the rewritten header and every word behind it leave one whole slot
+    /// (not one cycle) later than a plain hop, so downstream slot
+    /// occupancy stays whole-slot and the allocator never needs a spill
+    /// reservation.
+    gt_pad: Vec<u64>,
     /// Per output: future GT emissions, ordered by due cycle. Bounded by
-    /// one absorb per input per cycle over one slot of lifetime.
+    /// one absorb per input per cycle over two slots of lifetime (plain
+    /// hop latency plus the gateway alignment pad).
     gt_cal: Vec<Ring<GtEvent>>,
     /// Per output: input owning the output for a BE worm.
     be_owner: Vec<Option<usize>>,
@@ -132,8 +145,9 @@ impl Router {
             be_route: vec![None; n_ports],
             gt_route: vec![None; n_ports],
             gt_hold: vec![None; n_ports],
+            gt_pad: vec![0; n_ports],
             gt_cal: (0..n_ports)
-                .map(|_| Ring::with_capacity(n_ports * (SLOT_WORDS as usize + 1)))
+                .map(|_| Ring::with_capacity(n_ports * (2 * SLOT_WORDS as usize + 1)))
                 .collect(),
             be_owner: vec![None; n_ports],
             gt_mask: 0,
@@ -420,17 +434,23 @@ impl Router {
                 let (out, fwd) = if let Some(held) = self.gt_hold[input].take() {
                     // Gateway rewrite: the word behind the held exhausted
                     // header is its continuation — install the next segment
-                    // and re-emit the header (one cycle later, one word
-                    // shorter than a plain hop). A continuation naming no
+                    // and re-emit the header one whole slot later than a
+                    // plain hop (the held cycle plus an alignment pad), one
+                    // word shorter. Aligning the rewrite to a slot boundary
+                    // keeps downstream slot occupancy whole-slot, so the
+                    // allocator reserves exactly one slot per link instead
+                    // of a base + spill pair. A continuation naming no
                     // port, or a port this router does not have, marks a
                     // misrouted packet (e.g. payload misread as a segment):
                     // drop and count it, like any other orphan.
                     let rewrite = Self::rewrite_header(held, word)
                         .filter(|&(out, _)| usize::from(out) < self.n_ports);
                     let Some((out, rewritten)) = rewrite else {
+                        self.gt_pad[input] = 0;
                         self.gt_orphans += 1;
                         return;
                     };
+                    self.gt_pad[input] = SLOT_WORDS - 1;
                     if !rewritten.is_tail() {
                         self.gt_route[input] = Some(out);
                     }
@@ -439,6 +459,7 @@ impl Router {
                     match Path::peek_encoded(word.word()) {
                         Some(out) => {
                             let shifted = word.with_word(Path::shift_header(word.word()));
+                            self.gt_pad[input] = 0;
                             if !word.is_tail() {
                                 self.gt_route[input] = Some(out);
                             }
@@ -468,11 +489,28 @@ impl Router {
                     }
                     (out, word)
                 };
-                let due = cycle + SLOT_WORDS;
+                let due = cycle + SLOT_WORDS + self.gt_pad[input];
+                if word.is_tail() {
+                    self.gt_pad[input] = 0;
+                }
+                // Padded (rewritten-here) and unpadded worms converging on
+                // one output can be absorbed out of due order; restore the
+                // calendar's due order with a bounded backward bubble (the
+                // skew is at most the alignment pad).
                 let cal = &mut self.gt_cal[out as usize];
-                debug_assert!(cal.back().is_none_or(|e| e.due <= due));
                 cal.push_back(GtEvent { due, word: fwd })
-                    .expect("GT calendar bounded by ports x slot lifetime");
+                    .expect("GT calendar bounded by ports x two slots of lifetime");
+                let mut i = cal.len() - 1;
+                while i > 0 {
+                    let prev = cal.get(i - 1).expect("index in bounds").due;
+                    if prev <= due {
+                        break;
+                    }
+                    let moved = *cal.get(i - 1).expect("index in bounds");
+                    *cal.get_mut(i).expect("index in bounds") = moved;
+                    i -= 1;
+                }
+                *cal.get_mut(i).expect("index in bounds") = GtEvent { due, word: fwd };
                 self.gt_mask |= 1 << out;
             }
             WordClass::BestEffort => {
@@ -708,20 +746,23 @@ mod tests {
         assert!(!r.idle(), "held header keeps the router non-idle");
         r.absorb(0, continuation(&[2, 4], WordClass::Guaranteed, false), 1);
         r.absorb(0, LinkWord::payload(77, WordClass::Guaranteed, true), 2);
-        // Rewritten header due at 1 + SLOT_WORDS = 4 (one cycle later than
-        // a plain hop), payload follows contiguously.
-        assert!(r.emit(3).emissions.is_empty());
-        let e4 = r.emit(4).emissions;
-        assert_eq!(e4.len(), 1);
-        assert_eq!(e4[0].port, 2);
-        assert!(e4[0].word.is_header());
+        // Rewrite aligned to the slot grid: the header leaves at 2 x
+        // SLOT_WORDS = 6, one whole slot later than a plain hop (due 3);
+        // the payload follows contiguously.
+        for c in 3..6 {
+            assert!(r.emit(c).emissions.is_empty(), "nothing due at {c}");
+        }
+        let e6 = r.emit(6).emissions;
+        assert_eq!(e6.len(), 1);
+        assert_eq!(e6[0].port, 2);
+        assert!(e6[0].word.is_header());
         // Upper header bits (qid) survived; path shifted past the rewritten
         // first hop.
-        assert_eq!(PacketHeader::unpack(e4[0].word.word()).qid, 3);
-        assert_eq!(Path::peek_encoded(e4[0].word.word()), Some(4));
-        let e5 = r.emit(5).emissions;
-        assert_eq!(e5[0].word.word(), 77);
-        assert!(e5[0].word.is_tail());
+        assert_eq!(PacketHeader::unpack(e6[0].word.word()).qid, 3);
+        assert_eq!(Path::peek_encoded(e6[0].word.word()), Some(4));
+        let e7 = r.emit(7).emissions;
+        assert_eq!(e7[0].word.word(), 77);
+        assert!(e7[0].word.is_tail());
         assert_eq!(r.gt_orphans(), 0);
         assert_eq!(r.gt_conflicts(), 0);
     }
@@ -733,7 +774,8 @@ mod tests {
         let mut r = fresh(5);
         r.absorb(1, exhausted_header(7, WordClass::Guaranteed), 0);
         r.absorb(1, continuation(&[3], WordClass::Guaranteed, true), 1);
-        let out = r.emit(4).emissions;
+        assert!(r.emit(4).emissions.is_empty(), "aligned past the plain due");
+        let out = r.emit(6).emissions;
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].port, 3);
         assert!(out[0].word.is_header() && out[0].word.is_tail());

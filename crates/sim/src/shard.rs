@@ -52,10 +52,9 @@ use crate::link::LinkId;
 use crate::noc::Noc;
 use crate::path::PortIdx;
 use crate::stats::NocStats;
+use crate::sync::{AtomicU64Cell, AtomicUsizeCell, MutexCell, Ordering, StdSync, SyncFamily};
 use crate::topology::{NiId, RouterId, Topology};
 use crate::word::LinkWord;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A router → shard assignment over a topology.
 ///
@@ -522,52 +521,46 @@ impl Mailbox {
     }
 }
 
-/// Iterations to busy-spin before falling back to `yield_now` — long
-/// enough to cover the common "peer is one phase behind" window, short
-/// enough not to burn a core when a peer is descheduled (or the host has
-/// fewer cores than regions).
-const SPIN_LIMIT: u32 = 128;
-
-#[inline]
-fn spin_until(mut ready: impl FnMut() -> bool) {
-    let mut spins = 0u32;
-    while !ready() {
-        if spins < SPIN_LIMIT {
-            spins += 1;
-            std::hint::spin_loop();
-        } else {
-            std::thread::yield_now();
-        }
-    }
-}
-
 /// A reusable spin-then-yield barrier: the epoch synchronization point of
 /// [`ShardRunner::run_parallel`]. Arrivals spin briefly on the generation
 /// counter before yielding, so the short-epoch case never pays a futex
 /// round trip.
-#[derive(Debug)]
-struct SpinBarrier {
+///
+/// Generic over the [`SyncFamily`] shim so the `testkit::mc` model checker
+/// can explore this exact code on instrumented cells; production uses the
+/// zero-cost [`StdSync`] default.
+pub struct SpinBarrier<S: SyncFamily = StdSync> {
     n: usize,
-    arrived: AtomicUsize,
-    generation: AtomicU64,
+    arrived: S::AtomicUsize,
+    generation: S::AtomicU64,
 }
 
-impl SpinBarrier {
-    fn new(n: usize) -> Self {
+impl<S: SyncFamily> std::fmt::Debug for SpinBarrier<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpinBarrier").field("n", &self.n).finish()
+    }
+}
+
+impl<S: SyncFamily> SpinBarrier<S> {
+    /// Creates a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
         SpinBarrier {
             n,
-            arrived: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
+            arrived: S::AtomicUsize::new(0),
+            generation: S::AtomicU64::new(0),
         }
     }
 
-    fn wait(&self) {
+    /// Blocks until all `n` participants have arrived. The last arrival
+    /// resets the count *before* releasing the generation bump, so the
+    /// barrier is immediately reusable.
+    pub fn wait(&self) {
         let gen = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.arrived.store(0, Ordering::Relaxed);
             self.generation.fetch_add(1, Ordering::Release);
         } else {
-            spin_until(|| self.generation.load(Ordering::Acquire) != gen);
+            S::spin_until(|| self.generation.load(Ordering::Acquire) != gen);
         }
     }
 }
@@ -577,53 +570,157 @@ impl SpinBarrier {
 /// watermark (`published` = first cycle *not* yet final) is what lets the
 /// consumer absorb cycle `t` without a global barrier: once the producer
 /// publishes past `t`, no further entry stamped ≤ `t` can appear.
-#[derive(Debug)]
-struct WireChannel {
+///
+/// Generic over the [`SyncFamily`] shim — see [`SpinBarrier`].
+pub struct WireChannel<S: SyncFamily = StdSync> {
     /// First cycle whose boundary traffic is not yet final.
-    published: AtomicU64,
-    mailbox: Mutex<Mailbox>,
+    published: S::AtomicU64,
+    mailbox: S::Mutex<Mailbox>,
 }
 
-impl WireChannel {
-    fn new(start: u64) -> Self {
+impl<S: SyncFamily> std::fmt::Debug for WireChannel<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireChannel")
+            .field("published", &self.published.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<S: SyncFamily> WireChannel<S> {
+    /// Creates a wire channel whose first unpublished cycle is `start`.
+    pub fn new(start: u64) -> Self {
         WireChannel {
-            published: AtomicU64::new(start),
-            mailbox: Mutex::new(Mailbox::new()),
+            published: S::AtomicU64::new(start),
+            mailbox: S::Mutex::new(Mailbox::new()),
         }
     }
 
     /// Producer: queue cycle `due`'s traffic (called before publishing it).
-    fn send(&self, due: u64, word: Option<LinkWord>, credits: u32) {
-        self.mailbox
-            .lock()
-            .expect("mailbox lock")
-            .push(due, word, credits);
+    pub fn send(&self, due: u64, word: Option<LinkWord>, credits: u32) {
+        self.mailbox.with(|m| m.push(due, word, credits));
     }
 
     /// Producer: mark cycle `t` final — every entry stamped ≤ `t` is queued.
-    fn publish(&self, t: u64) {
+    pub fn publish(&self, t: u64) {
         self.published.store(t + 1, Ordering::Release);
     }
 
     /// Consumer: spin-then-yield until cycle `t` is final.
-    fn wait_published(&self, t: u64) {
-        spin_until(|| self.published.load(Ordering::Acquire) > t);
+    pub fn wait_published(&self, t: u64) {
+        S::spin_until(|| self.published.load(Ordering::Acquire) > t);
     }
 
     /// Consumer: whether an entry is due at or before `t` (call only after
     /// [`WireChannel::wait_published`]).
-    fn has_due(&self, t: u64) -> bool {
-        self.mailbox
-            .lock()
-            .expect("mailbox lock")
-            .next_due()
-            .is_some_and(|d| d <= t)
+    pub fn has_due(&self, t: u64) -> bool {
+        self.mailbox.with(|m| m.next_due()).is_some_and(|d| d <= t)
     }
 
     /// Consumer: take cycle `t`'s entry, if the wire carried traffic then.
-    fn take_due(&self, t: u64) -> Option<(Option<LinkWord>, u32)> {
-        self.mailbox.lock().expect("mailbox lock").take_due(t)
+    pub fn take_due(&self, t: u64) -> Option<(Option<LinkWord>, u32)> {
+        self.mailbox.with(|m| m.take_due(t))
     }
+}
+
+/// One worker's view of the shared exchange state in
+/// [`ShardRunner::run_parallel`]: the epoch barrier, every wire's channel,
+/// and this region's inbound/outbound wire lists.
+///
+/// Public (with [`run_worker`]) so the model checker drives the *same*
+/// protocol code the production runner executes, not a re-implementation.
+pub struct ExchangeSlice<'a, S: SyncFamily = StdSync> {
+    /// The epoch barrier shared by all workers.
+    pub barrier: &'a SpinBarrier<S>,
+    /// Per-wire channels, indexed like `wires`.
+    pub channels: &'a [WireChannel<S>],
+    /// The cross-shard wire table (for destination boundary lookups).
+    pub wires: &'a [BoundaryWire],
+    /// Wire indices this region produces onto.
+    pub out_list: &'a [usize],
+    /// Wire indices this region consumes from.
+    pub in_list: &'a [usize],
+    /// `my_wire[boundary]` = outbound wire index of that boundary.
+    pub my_wire: &'a [usize],
+}
+
+/// One worker thread's body in [`ShardRunner::run_parallel`]: runs `region`
+/// from cycle `start` to `end` in `batch`-cycle epochs, exchanging boundary
+/// traffic through the stamped mailboxes and published-cycle watermarks of
+/// `slice` and re-aligning with its peers at the epoch barrier. Returns the
+/// region's final `(awake, wake_at)` scheduler state.
+///
+/// The caller must invoke this once per region, concurrently, with every
+/// worker sharing the same barrier and channel slice.
+pub fn run_worker<R: ShardRegion, S: SyncFamily>(
+    region: &mut R,
+    slice: &ExchangeSlice<'_, S>,
+    start: u64,
+    end: u64,
+    batch: u64,
+    mut awake: bool,
+    mut wake_at: u64,
+) -> (bool, u64) {
+    let (channels, wires) = (slice.channels, slice.wires);
+    let mut t = start;
+    while t < end {
+        let t1 = end.min(t + batch);
+        while t < t1 {
+            if !awake && wake_at <= t {
+                let now = region.now();
+                region.skip(t - now);
+                awake = true;
+            }
+            if awake {
+                region.emit();
+                while let Some((b, word, credits)) = region.shard_noc_mut().take_dirty_boundary() {
+                    channels[slice.my_wire[b]].send(t, word, credits);
+                }
+            }
+            // Publish cycle t on every outbound wire — also while asleep:
+            // the watermark is the null message that lets consumers proceed.
+            for &i in slice.out_list {
+                channels[i].publish(t);
+            }
+            // Wait until every inbound wire is final for t.
+            for &i in slice.in_list {
+                channels[i].wait_published(t);
+            }
+            if !awake && slice.in_list.iter().any(|&i| channels[i].has_due(t)) {
+                let now = region.now();
+                region.skip(t - now);
+                region.emit(); // no-op: region is quiescent
+                awake = true;
+            }
+            if awake {
+                for &i in slice.in_list {
+                    if let Some((word, credits)) = channels[i].take_due(t) {
+                        region.shard_noc_mut().put_boundary_in(
+                            wires[i].dst_boundary,
+                            word,
+                            credits,
+                        );
+                    }
+                }
+                region.absorb();
+            }
+            t += 1;
+        }
+        // Epoch boundary: sleep decision, then re-align.
+        if awake && region.quiescent() {
+            let now = region.now();
+            let horizon = region.next_event(now);
+            if horizon > now {
+                awake = false;
+                wake_at = horizon;
+            }
+        }
+        slice.barrier.wait();
+    }
+    let now = region.now();
+    if now < end {
+        region.skip(end - now);
+    }
+    (awake, wake_at)
 }
 
 /// The slack-batched shard driver with per-region activity tracking.
@@ -887,86 +984,29 @@ impl ShardRunner {
             wire_of[w.src_shard][w.src_boundary] = i;
         }
         let batch = self.batch;
-        let states: Vec<(bool, u64)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (r, region) in regions.iter_mut().enumerate() {
-                let (barrier, channels, wires) = (&barrier, &channels, &self.wires);
-                let out_list = std::mem::take(&mut out_w[r]);
-                let in_list = std::mem::take(&mut in_w[r]);
-                let my_wire = std::mem::take(&mut wire_of[r]);
-                let mut awake = self.awake[r];
-                let mut wake_at = self.wake_at[r];
-                handles.push(scope.spawn(move || {
-                    let mut t = start;
-                    while t < end {
-                        let t1 = end.min(t + batch);
-                        while t < t1 {
-                            if !awake && wake_at <= t {
-                                let now = region.now();
-                                region.skip(t - now);
-                                awake = true;
-                            }
-                            if awake {
-                                region.emit();
-                                while let Some((b, word, credits)) =
-                                    region.shard_noc_mut().take_dirty_boundary()
-                                {
-                                    channels[my_wire[b]].send(t, word, credits);
-                                }
-                            }
-                            // Publish cycle t on every outbound wire — also
-                            // while asleep: the watermark is the null
-                            // message that lets consumers proceed.
-                            for &i in &out_list {
-                                channels[i].publish(t);
-                            }
-                            // Wait until every inbound wire is final for t.
-                            for &i in &in_list {
-                                channels[i].wait_published(t);
-                            }
-                            if !awake && in_list.iter().any(|&i| channels[i].has_due(t)) {
-                                let now = region.now();
-                                region.skip(t - now);
-                                region.emit(); // no-op: region is quiescent
-                                awake = true;
-                            }
-                            if awake {
-                                for &i in &in_list {
-                                    if let Some((word, credits)) = channels[i].take_due(t) {
-                                        region.shard_noc_mut().put_boundary_in(
-                                            wires[i].dst_boundary,
-                                            word,
-                                            credits,
-                                        );
-                                    }
-                                }
-                                region.absorb();
-                            }
-                            t += 1;
-                        }
-                        // Epoch boundary: sleep decision, then re-align.
-                        if awake && region.quiescent() {
-                            let now = region.now();
-                            let horizon = region.next_event(now);
-                            if horizon > now {
-                                awake = false;
-                                wake_at = horizon;
-                            }
-                        }
-                        barrier.wait();
-                    }
-                    let now = region.now();
-                    if now < end {
-                        region.skip(end - now);
-                    }
-                    (awake, wake_at)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+        let states: Vec<(bool, u64)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (r, region) in regions.iter_mut().enumerate() {
+                    let slice = ExchangeSlice {
+                        barrier: &barrier,
+                        channels: &channels,
+                        wires: &self.wires,
+                        out_list: &out_w[r],
+                        in_list: &in_w[r],
+                        my_wire: &wire_of[r],
+                    };
+                    let awake = self.awake[r];
+                    let wake_at = self.wake_at[r];
+                    handles.push(scope.spawn(move || {
+                        run_worker(region, &slice, start, end, batch, awake, wake_at)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
         for (r, (awake, wake_at)) in states.into_iter().enumerate() {
             self.awake[r] = awake;
             self.wake_at[r] = wake_at;

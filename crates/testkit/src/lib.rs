@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mc;
+
 use std::ops::{Range, RangeInclusive};
 
 pub use noc_sim::Rng64;

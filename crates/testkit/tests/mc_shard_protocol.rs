@@ -1,0 +1,406 @@
+//! Model-checking the shard exchange protocol of `noc_sim::shard`.
+//!
+//! The bounded-interleaving explorer (`aethereal_testkit::mc`) drives the
+//! *production* protocol code — `SpinBarrier::wait`, `WireChannel`
+//! send/publish/wait/take, and the full `run_worker` epoch loop — on
+//! instrumented [`ModelSync`] cells, exhaustively within the documented
+//! bounds (preemption budget, single-entry store buffers). Three properties
+//! are asserted across every explored schedule:
+//!
+//! * **never-absorb-before-due** — a consumer takes a mailbox entry at
+//!   exactly its stamped cycle (the `Mailbox` asserts are live under the
+//!   model, so a violation panics the schedule);
+//! * **no lost wakeups** — every parked spin wait is eventually released
+//!   (a lost wakeup surfaces as a model deadlock);
+//! * **barrier generation correctness** — writes published before a
+//!   barrier `wait` are visible after the matching `wait` of every peer,
+//!   and the barrier is immediately reusable across epochs.
+//!
+//! The seeded-mutant suite then weakens the protocol in five separate ways
+//! (dropped `Release`, reordered stores, watermark off-by-one in both
+//! directions, publish-before-send) and shows the checker catches each one
+//! — evidence the exploration actually covers the orderings the hand
+//! written atomics rely on.
+
+use aethereal_testkit::mc::{self, Config, Failure, ModelSync, Outcome};
+use noc_sim::shard::{run_worker, wires_of, BoundaryWire, ExchangeSlice, SpinBarrier, WireChannel};
+use noc_sim::sync::{AtomicU64Cell, AtomicUsizeCell, Ordering, SyncFamily};
+use noc_sim::{Clocked, Noc, NocShard, PacketHeader, Partition, ShardRunner, Topology, WordClass};
+use std::sync::{Arc, Mutex};
+
+type U64 = <ModelSync as SyncFamily>::AtomicU64;
+type Usize = <ModelSync as SyncFamily>::AtomicUsize;
+
+fn assert_pass(outcome: &Outcome) {
+    match outcome {
+        Outcome::Pass { .. } => {}
+        Outcome::Fail { failure, .. } => {
+            panic!(
+                "model check failed: {failure:?}\ntrace:\n  {}",
+                failure.trace().join("\n  ")
+            );
+        }
+    }
+}
+
+fn assert_caught(outcome: &Outcome, what: &str) {
+    assert!(
+        matches!(outcome, Outcome::Fail { .. }),
+        "{what}: mutant survived the model checker: {outcome:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SpinBarrier: the real protocol passes; ordering mutants deadlock.
+// ---------------------------------------------------------------------------
+
+/// Two threads, two epochs over the production [`SpinBarrier`], with a
+/// cross-thread handshake proving generation correctness: the value one
+/// side stores before its `wait` must be visible to the other side after
+/// the matching `wait` — in both epochs, so reuse after the reset is
+/// exercised too.
+#[test]
+fn spin_barrier_passes_model_check() {
+    let outcome = mc::explore(&Config::default(), |exec| {
+        let barrier = Arc::new(SpinBarrier::<ModelSync>::new(2));
+        // One cell per (thread, epoch): an epoch's cell is only ever
+        // written before its barrier and read after it, so any stale value
+        // is a barrier bug, not a test race.
+        let cells: Vec<Arc<U64>> = (0..4).map(|_| Arc::new(U64::new(0))).collect();
+        for me in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let mine: Vec<Arc<U64>> = cells[me * 2..me * 2 + 2].iter().map(Arc::clone).collect();
+            let peer: Vec<Arc<U64>> = cells[(1 - me) * 2..(1 - me) * 2 + 2]
+                .iter()
+                .map(Arc::clone)
+                .collect();
+            exec.spawn(move || {
+                for epoch in 0..2 {
+                    mine[epoch].store(epoch as u64 + 1, Ordering::Release);
+                    barrier.wait();
+                    assert_eq!(
+                        peer[epoch].load(Ordering::Acquire),
+                        epoch as u64 + 1,
+                        "epoch {epoch} write not visible after the barrier"
+                    );
+                }
+            });
+        }
+    });
+    assert_pass(&outcome);
+}
+
+/// A test double of [`SpinBarrier`] whose `wait` body is the production
+/// code with one seeded ordering mutation — the mutants the checker must
+/// catch. `Correct` reproduces the real implementation line for line, as a
+/// control that the double itself is faithful.
+struct MutantBarrier {
+    n: usize,
+    arrived: Usize,
+    generation: U64,
+    variant: Mutation,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    /// The production ordering.
+    Correct,
+    /// M1: the generation bump's `Release` dropped to `Relaxed` — the
+    /// buffered `arrived` reset may land *after* a peer re-entered the
+    /// barrier, losing its arrival.
+    RelaxedBump,
+    /// M2: generation bumped *before* the arrival count is reset — a peer
+    /// can re-enter between the two stores and its arrival is wiped.
+    BumpBeforeReset,
+}
+
+impl MutantBarrier {
+    fn new(n: usize, variant: Mutation) -> Self {
+        MutantBarrier {
+            n,
+            arrived: Usize::new(0),
+            generation: U64::new(0),
+            variant,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            match self.variant {
+                Mutation::Correct => {
+                    self.arrived.store(0, Ordering::Relaxed);
+                    self.generation.fetch_add(1, Ordering::Release);
+                }
+                Mutation::RelaxedBump => {
+                    self.arrived.store(0, Ordering::Relaxed);
+                    self.generation.fetch_add(1, Ordering::Relaxed);
+                }
+                Mutation::BumpBeforeReset => {
+                    self.generation.fetch_add(1, Ordering::Release);
+                    self.arrived.store(0, Ordering::Relaxed);
+                }
+            }
+        } else {
+            ModelSync::spin_until(|| self.generation.load(Ordering::Acquire) != gen);
+        }
+    }
+}
+
+fn explore_barrier(variant: Mutation) -> Outcome {
+    mc::explore(&Config::default(), move |exec| {
+        let barrier = Arc::new(MutantBarrier::new(2, variant));
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            exec.spawn(move || {
+                barrier.wait();
+                barrier.wait();
+            });
+        }
+    })
+}
+
+#[test]
+fn barrier_double_is_faithful() {
+    assert_pass(&explore_barrier(Mutation::Correct));
+}
+
+#[test]
+fn mutant_relaxed_generation_bump_is_caught() {
+    let outcome = explore_barrier(Mutation::RelaxedBump);
+    assert_caught(&outcome, "M1 dropped Release");
+    assert!(
+        matches!(outcome.failure(), Some(Failure::Deadlock { .. })),
+        "expected a lost-arrival deadlock: {outcome:?}"
+    );
+}
+
+#[test]
+fn mutant_generation_bump_before_reset_is_caught() {
+    let outcome = explore_barrier(Mutation::BumpBeforeReset);
+    assert_caught(&outcome, "M2 reordered stores");
+    assert!(
+        matches!(outcome.failure(), Some(Failure::Deadlock { .. })),
+        "expected a lost-arrival deadlock: {outcome:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WireChannel: stamped-mailbox watermark protocol.
+// ---------------------------------------------------------------------------
+
+/// How a producer orders its per-cycle `send` and `publish` calls.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProducerVariant {
+    /// Production order: queue cycle `t`'s traffic, then publish `t`.
+    Correct,
+    /// M3: publish before send — the watermark claims cycle `t` is final
+    /// while its entry is still in flight.
+    PublishBeforeSend,
+    /// M4: publish stores `t` instead of `t + 1` — the consumer can never
+    /// observe the last cycle as final.
+    PublishBehind,
+    /// M5: publish stores `t + 2` — cycle `t + 1` is claimed final a cycle
+    /// early, letting the consumer run ahead of the mailbox.
+    PublishAhead,
+}
+
+/// One producer stamping credit bundles for cycles `0..cycles`, one
+/// consumer absorbing each cycle at its exact due stamp. The consumer
+/// asserts it sees every entry, in order, with the stamped credit value —
+/// and `Mailbox::take_due`'s internal missed-entry assertion is live for
+/// every explored schedule.
+fn explore_wire(cycles: u64, variant: ProducerVariant) -> Outcome {
+    mc::explore(&Config::default(), move |exec| {
+        let ch = Arc::new(WireChannel::<ModelSync>::new(0));
+        {
+            let ch = Arc::clone(&ch);
+            exec.spawn(move || {
+                for t in 0..cycles {
+                    match variant {
+                        ProducerVariant::Correct => {
+                            ch.send(t, None, t as u32 + 1);
+                            ch.publish(t);
+                        }
+                        ProducerVariant::PublishBeforeSend => {
+                            ch.publish(t);
+                            ch.send(t, None, t as u32 + 1);
+                        }
+                        ProducerVariant::PublishBehind => {
+                            ch.send(t, None, t as u32 + 1);
+                            ch.publish(t.saturating_sub(1));
+                        }
+                        ProducerVariant::PublishAhead => {
+                            ch.send(t, None, t as u32 + 1);
+                            ch.publish(t + 1);
+                        }
+                    }
+                }
+            });
+        }
+        exec.spawn(move || {
+            for t in 0..cycles {
+                ch.wait_published(t);
+                let (word, credits) = ch
+                    .take_due(t)
+                    .unwrap_or_else(|| panic!("cycle {t}'s entry not due at its stamp"));
+                assert!(word.is_none());
+                assert_eq!(credits, t as u32 + 1, "entry absorbed off schedule");
+            }
+        });
+    })
+}
+
+#[test]
+fn wire_channel_passes_model_check() {
+    assert_pass(&explore_wire(3, ProducerVariant::Correct));
+}
+
+#[test]
+fn mutant_publish_before_send_is_caught() {
+    assert_caught(
+        &explore_wire(3, ProducerVariant::PublishBeforeSend),
+        "M3 publish/send reorder",
+    );
+}
+
+#[test]
+fn mutant_watermark_behind_is_caught() {
+    let outcome = explore_wire(2, ProducerVariant::PublishBehind);
+    assert_caught(&outcome, "M4 watermark off-by-one (behind)");
+    assert!(
+        matches!(outcome.failure(), Some(Failure::Deadlock { .. })),
+        "expected the consumer to starve: {outcome:?}"
+    );
+}
+
+#[test]
+fn mutant_watermark_ahead_is_caught() {
+    assert_caught(
+        &explore_wire(3, ProducerVariant::PublishAhead),
+        "M5 watermark off-by-one (ahead)",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The full epoch loop: run_worker on real split regions.
+// ---------------------------------------------------------------------------
+
+/// Builds the 2-region, 2-wire scenario: a 2x1 mesh cut between its two
+/// routers, with one BE packet injected at NI 0 that must cross the cut.
+fn split_two_regions() -> (Vec<NocShard>, Vec<BoundaryWire>) {
+    let topo = Topology::mesh(2, 1, 1);
+    let single = Noc::new(&topo);
+    let partition = Partition::new(vec![0, 1]).expect("dense");
+    let mut shards = single.split(&topo, &partition);
+    let wires = wires_of(&shards);
+    let header = PacketHeader {
+        path: topo.route(0, 1).expect("2x1 mesh route"),
+        qid: 0,
+        credits: 0,
+        flush: false,
+    };
+    let link = shards[0].noc.ni_link_mut(0);
+    link.send(noc_sim::LinkWord::header_only(
+        header.pack(),
+        WordClass::BestEffort,
+    ));
+    (shards, wires)
+}
+
+/// Per-region exchange lists, as `ShardRunner::run_parallel` derives them.
+fn exchange_lists(
+    wires: &[BoundaryWire],
+    regions: usize,
+) -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    let mut lists = vec![(Vec::new(), Vec::new(), Vec::new()); regions];
+    for (i, w) in wires.iter().enumerate() {
+        lists[w.src_shard].0.push(i);
+        lists[w.dst_shard].1.push(i);
+        let my_wire = &mut lists[w.src_shard].2;
+        if my_wire.len() <= w.src_boundary {
+            my_wire.resize(w.src_boundary + 1, usize::MAX);
+        }
+        my_wire[w.src_boundary] = i;
+    }
+    lists
+}
+
+/// Model-checks `run_worker` itself — the production epoch loop over
+/// watermarks, stamped mailboxes and the epoch barrier — on the 2-region
+/// cut, asserting every explored schedule ends bit-identical to the
+/// sequential lockstep reference.
+fn explore_run_worker(batch: u64, cycles: u64) {
+    // Sequential reference (the lockstep path run_parallel is pinned to).
+    let (mut ref_shards, ref_wires) = split_two_regions();
+    let mut runner = ShardRunner::new(2, ref_wires, 0).with_batch(batch);
+    runner.run(&mut ref_shards, cycles);
+    let expected: Vec<String> = ref_shards
+        .iter()
+        .map(|s| format!("{:?}/{:?}", s.noc.now(), s.noc.stats()))
+        .collect();
+    assert!(
+        ref_shards
+            .iter()
+            .map(|s| s.noc.stats().delivered.iter().sum::<u64>())
+            .sum::<u64>()
+            > 0,
+        "reference run must deliver the boundary-crossing packet"
+    );
+
+    // One involuntary context switch is enough to surface every known
+    // ordering bug in this protocol (the mutants above all fail within
+    // one); the full-loop state space with two is out of test budget.
+    let config = Config {
+        preemptions: 1,
+        ..Config::default()
+    };
+    let outcome = mc::explore(&config, move |exec| {
+        let (shards, wires) = split_two_regions();
+        let wires = Arc::new(wires);
+        let lists = Arc::new(exchange_lists(&wires, 2));
+        let barrier = Arc::new(SpinBarrier::<ModelSync>::new(2));
+        let channels: Arc<Vec<WireChannel<ModelSync>>> =
+            Arc::new(wires.iter().map(|_| WireChannel::new(0)).collect());
+        let results: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(vec![None, None]));
+        for (r, mut shard) in shards.into_iter().enumerate() {
+            let barrier = Arc::clone(&barrier);
+            let channels = Arc::clone(&channels);
+            let wires = Arc::clone(&wires);
+            let lists = Arc::clone(&lists);
+            let results = Arc::clone(&results);
+            exec.spawn(move || {
+                let slice = ExchangeSlice {
+                    barrier: &barrier,
+                    channels: &channels,
+                    wires: &wires,
+                    out_list: &lists[r].0,
+                    in_list: &lists[r].1,
+                    my_wire: &lists[r].2,
+                };
+                run_worker(&mut shard, &slice, 0, cycles, batch, true, 0);
+                let state = format!("{:?}/{:?}", shard.noc.now(), shard.noc.stats());
+                results.lock().expect("results lock")[r] = Some(state);
+            });
+        }
+        let expected = expected.clone();
+        exec.finale(move || {
+            let results = results.lock().expect("results lock");
+            for (r, want) in expected.iter().enumerate() {
+                let got = results[r].as_ref().expect("worker finished");
+                assert_eq!(got, want, "region {r} diverged from lockstep reference");
+            }
+        });
+    });
+    assert_pass(&outcome);
+}
+
+#[test]
+fn run_worker_passes_model_check_batch_1() {
+    explore_run_worker(1, 4);
+}
+
+#[test]
+fn run_worker_passes_model_check_batch_2() {
+    explore_run_worker(2, 6);
+}

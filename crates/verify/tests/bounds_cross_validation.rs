@@ -1,0 +1,296 @@
+//! Cross-validation of the analytical bounds against cycle-accurate runs.
+//!
+//! For every certified GT flow in each scenario:
+//!
+//! * **throughput is exact** — over any whole number of slot-table
+//!   revolutions in steady state, a saturated source delivers exactly
+//!   `payload_per_revolution` words per revolution, not merely at least;
+//! * **jitter holds** — the measured max inter-arrival gap at the sink
+//!   never exceeds the analytical `jitter_cycles`;
+//! * **latency holds** — the last word of a finite message lands within
+//!   [`worst_case_latency`] cycles of the run starting.
+//!
+//! Scenarios sweep uniform (disjoint column streams) and hotspot
+//! (converging on the mesh center) traffic on 8x8 and 16x16 meshes, plus
+//! a two-level diagonal route whose gateway rewrites tax both the packet
+//! budget and the path latency.
+
+use aethereal_cfg::runtime::{ChannelEnd, ConnectionRequest, Service};
+use aethereal_cfg::{presets, NocSpec, NocSystem, RuntimeConfigurator, SlotStrategy, TopologySpec};
+use aethereal_proto::{StreamSink, StreamSource};
+use aethereal_verify::bounds::{gt_bounds, worst_case_latency};
+use aethereal_verify::certify_system;
+
+const STU: usize = 8;
+const REVOLUTION: u64 = (STU as u64) * 3; // SLOT_WORDS
+
+/// Mesh of raw streaming NIs with the configuration module at `cfg_ni`,
+/// one GT connection per `(src, dst)` pair on channel 1 of both ends.
+fn gt_mesh(
+    width: usize,
+    height: usize,
+    cfg_ni: usize,
+    pairs: &[(usize, usize)],
+    slots: usize,
+    strategy: SlotStrategy,
+) -> (NocSpec, NocSystem) {
+    let n = width * height;
+    // The configurator binds one of its config channels per remote NI it
+    // ever touches, so size the module for both ends of every pair.
+    let cfg_channels = 2 * pairs.len() + 2;
+    let nis = (0..n)
+        .map(|id| {
+            if id == cfg_ni {
+                presets::cfg_module_ni(id, cfg_channels)
+            } else {
+                presets::raw_ni(id, 1)
+            }
+        })
+        .collect();
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width,
+            height,
+            nis_per_router: 1,
+        },
+        nis,
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), cfg_ni, 0, STU);
+    for &(src, dst) in pairs {
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest {
+                fwd: Service::Guaranteed { slots, strategy },
+                rev: Service::BestEffort,
+                ..ConnectionRequest::best_effort(
+                    ChannelEnd {
+                        ni: src,
+                        channel: 1,
+                    },
+                    ChannelEnd {
+                        ni: dst,
+                        channel: 1,
+                    },
+                )
+            },
+        )
+        .unwrap_or_else(|e| panic!("GT {src}->{dst} must open: {e:?}"));
+    }
+    (spec, sys)
+}
+
+/// Certifies the system, saturates every pair, and checks throughput
+/// equality and the jitter bound flow by flow.
+fn check_saturated(spec: &NocSpec, mut sys: NocSystem, pairs: &[(usize, usize)], window_revs: u64) {
+    let cert = certify_system(spec, &sys).expect("configured GT mesh certifies");
+    let mut sinks = Vec::new();
+    for &(src, dst) in pairs {
+        sys.bind_raw(src, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+        sinks.push((
+            src,
+            sys.bind_raw(dst, 1, vec![1], Box::new(StreamSink::new())),
+        ));
+    }
+    sys.run(100 * REVOLUTION); // steady state
+    let before: Vec<usize> = sinks
+        .iter()
+        .map(|&(_, s)| sys.raw_ip_as::<StreamSink>(s).received().len())
+        .collect();
+    sys.run(window_revs * REVOLUTION);
+    for (i, &(src, sink)) in sinks.iter().enumerate() {
+        let flow = cert.flow(src, 1).expect("pair certified");
+        let b = gt_bounds(cert.stu_slots, flow);
+        let s = sys.raw_ip_as::<StreamSink>(sink);
+        let delivered = (s.received().len() - before[i]) as u64;
+        assert_eq!(
+            delivered,
+            window_revs * b.payload_per_revolution,
+            "flow {src}: {window_revs} revolutions must deliver exactly the bound"
+        );
+        let jitter = s.max_inter_arrival().unwrap_or(0);
+        assert!(
+            jitter <= b.jitter_cycles,
+            "flow {src}: measured jitter {jitter} > analytical bound {}",
+            b.jitter_cycles
+        );
+    }
+}
+
+#[test]
+fn small_harness_throughput_matches_bound_for_every_reservation() {
+    // The guarantees-test shape: 2x1 mesh, slots swept 1..=4.
+    for slots in 1..=4usize {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 3,
+            },
+            vec![
+                presets::cfg_module_ni(0, 8),
+                presets::raw_ni(1, 1),
+                presets::raw_ni(2, 1),
+                presets::raw_ni(3, 1),
+                presets::raw_ni(4, 1),
+                presets::slave_ni(5),
+            ],
+        );
+        let mut sys = NocSystem::from_spec(&spec);
+        let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, STU);
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest {
+                fwd: Service::Guaranteed {
+                    slots,
+                    strategy: SlotStrategy::Spread,
+                },
+                rev: Service::BestEffort,
+                ..ConnectionRequest::best_effort(
+                    ChannelEnd { ni: 1, channel: 1 },
+                    ChannelEnd { ni: 3, channel: 1 },
+                )
+            },
+        )
+        .expect("GT opens");
+        check_saturated(&spec, sys, &[(1, 3)], 1000);
+    }
+}
+
+#[test]
+fn uniform_8x8_sweep_matches_bounds() {
+    // Disjoint column streams: row 0 down to row 4, columns 1..8.
+    let pairs: Vec<(usize, usize)> = (1..8).map(|x| (x, 4 * 8 + x)).collect();
+    let (spec, sys) = gt_mesh(8, 8, 0, &pairs, 1, SlotStrategy::Spread);
+    check_saturated(&spec, sys, &pairs, 500);
+}
+
+#[test]
+fn hotspot_8x8_sweep_matches_bounds() {
+    // Six senders converging on the mesh-center block: shared links force
+    // the allocator to interleave their slot claims.
+    let pairs = [(11, 27), (13, 28), (25, 35), (31, 36), (51, 26), (53, 37)];
+    let (spec, sys) = gt_mesh(8, 8, 0, &pairs, 1, SlotStrategy::Spread);
+    check_saturated(&spec, sys, &pairs, 500);
+}
+
+#[test]
+fn uniform_16x16_sweep_matches_bounds() {
+    let pairs: Vec<(usize, usize)> = (1..11).map(|x| (x, 8 * 16 + x)).collect();
+    let (spec, sys) = gt_mesh(16, 16, 0, &pairs, 1, SlotStrategy::Spread);
+    check_saturated(&spec, sys, &pairs, 200);
+}
+
+#[test]
+fn hotspot_16x16_sweep_matches_bounds() {
+    // Converge on the 16x16 center block from all four quadrants.
+    let c = 7 * 16 + 7;
+    let pairs = [
+        (3 * 16 + 7, c),
+        (11 * 16 + 8, c + 16 + 1),
+        (7 * 16 + 3, c + 1),
+        (7 * 16 + 12, c + 16),
+    ];
+    let (spec, sys) = gt_mesh(16, 16, 0, &pairs, 1, SlotStrategy::Spread);
+    check_saturated(&spec, sys, &pairs, 200);
+}
+
+/// Latency: the last word of a finite message lands within the analytical
+/// worst case, across message sizes and reservations.
+#[test]
+fn finite_message_latency_within_worst_case_bound() {
+    for (slots, message) in [(1usize, 1usize), (1, 5), (2, 8), (4, 16)] {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 3,
+            },
+            vec![
+                presets::cfg_module_ni(0, 8),
+                presets::raw_ni(1, 1),
+                presets::raw_ni(2, 1),
+                presets::raw_ni(3, 1),
+                presets::raw_ni(4, 1),
+                presets::slave_ni(5),
+            ],
+        );
+        let mut sys = NocSystem::from_spec(&spec);
+        let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, STU);
+        cfg.open_connection(
+            &mut sys,
+            &ConnectionRequest {
+                fwd: Service::Guaranteed {
+                    slots,
+                    strategy: SlotStrategy::Spread,
+                },
+                rev: Service::BestEffort,
+                ..ConnectionRequest::best_effort(
+                    ChannelEnd { ni: 1, channel: 1 },
+                    ChannelEnd { ni: 3, channel: 1 },
+                )
+            },
+        )
+        .expect("GT opens");
+        let cert = certify_system(&spec, &sys).expect("certifies");
+        let flow = cert.flow(1, 1).expect("flow certified");
+        let bound = worst_case_latency(cert.stu_slots, flow, message);
+        sys.bind_raw(
+            1,
+            1,
+            vec![1],
+            Box::new(StreamSource::counting(message as u64)),
+        );
+        let sink = sys.bind_raw(3, 1, vec![1], Box::new(StreamSink::new()));
+        // Configuration already advanced the clock; the message enters the
+        // source queue when this run starts.
+        let t0 = sys.cycle();
+        sys.run(bound + 1);
+        let s = sys.raw_ip_as::<StreamSink>(sink);
+        assert_eq!(
+            s.received().len(),
+            message,
+            "{slots} slots / {message} words: all words within the bound"
+        );
+        let last = *s.arrival_cycles().last().expect("non-empty") - t0;
+        assert!(
+            last <= bound,
+            "{slots} slots / {message} words: last word at {last} > bound {bound}"
+        );
+    }
+}
+
+/// Two-level diagonal: gateway continuations shrink the payload per
+/// packet and each rewrite adds a whole slot of path latency — both must
+/// be reflected in the bounds, which the measured run then meets.
+#[test]
+fn two_level_route_bounds_hold() {
+    let pairs = [(0usize, 63usize)];
+    let (spec, mut sys) = {
+        let (spec, sys) = gt_mesh(8, 8, 9, &pairs, 2, SlotStrategy::Consecutive);
+        (spec, sys)
+    };
+    let cert = certify_system(&spec, &sys).expect("two-level GT certifies");
+    let flow = cert.flow(0, 1).expect("flow certified");
+    assert_eq!(flow.gateways, 2);
+    let b = gt_bounds(cert.stu_slots, flow);
+    // Consecutive pair: one 6-word packet = header + 2 continuations + 3
+    // payload words per revolution.
+    assert_eq!(b.payload_per_revolution, 3);
+    assert_eq!(b.path_cycles, (15 + 2) * 3);
+    let message = 6usize;
+    let bound = worst_case_latency(cert.stu_slots, flow, message);
+    sys.bind_raw(
+        0,
+        1,
+        vec![1],
+        Box::new(StreamSource::counting(message as u64)),
+    );
+    let sink = sys.bind_raw(63, 1, vec![1], Box::new(StreamSink::new()));
+    let t0 = sys.cycle();
+    sys.run(bound + 1);
+    let s = sys.raw_ip_as::<StreamSink>(sink);
+    assert_eq!(s.received().len(), message);
+    let last = *s.arrival_cycles().last().expect("non-empty") - t0;
+    assert!(last <= bound, "last word at {last} > bound {bound}");
+}

@@ -1,0 +1,248 @@
+//! Repo-local automation, invoked as `cargo run -p xtask -- <command>`.
+//!
+//! `lint` runs a hand-rolled source scanner over `crates/*/src` enforcing
+//! repo conventions that `clippy` cannot express:
+//!
+//! * `std::sync::Barrier` is forbidden outside test code — shard
+//!   synchronization must go through the `sim::sync::SyncFamily` seam so
+//!   the model checker in `aethereal-testkit` can substitute its own
+//!   primitives.
+//! * `.unwrap()` is forbidden in `sim`, `core` and `cfg` library code
+//!   (tests are exempt); use `.expect("why this cannot fail")` so every
+//!   panic site documents its invariant.
+//! * `Vec::new` / `Box::new` / `vec![` inside `tick` / `emit` / `absorb`
+//!   function bodies are flagged — the hot per-cycle paths are
+//!   allocation-free by design (see `crates/facade/tests/zero_alloc.rs`).
+//! * every crate root must carry `#![forbid(unsafe_code)]`.
+//!
+//! The scanner is line-based with a small brace-tracking state machine —
+//! deliberately no syn/proc-macro dependency, per the repo's no-new-deps
+//! rule. It is conservative: string literals containing the patterns
+//! would trip it, so phrase messages accordingly.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose library code must not call `.unwrap()`.
+const NO_UNWRAP_CRATES: &[&str] = &["sim", "core", "cfg"];
+
+/// Assembled at compile time so the scanner never matches its own source.
+const BARRIER: &str = concat!("std::sync::", "Barrier");
+const UNWRAP: &str = concat!(".unwrap", "()");
+
+/// Hot per-cycle entry points that must stay allocation-free.
+const HOT_FNS: &[&str] = &["tick", "emit", "absorb"];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.detail
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint   (got {:?})",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let crates_dir = root.join("crates");
+    let mut findings = Vec::new();
+    let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .expect("crates/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    for krate in &crates {
+        let name = krate
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = krate.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        check_crate_root(&src, &mut findings);
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files);
+        files.sort();
+        for file in files {
+            let text = fs::read_to_string(&file).expect("source files are UTF-8");
+            scan_file(&name, &file, &text, &mut findings);
+        }
+    }
+    if findings.is_empty() {
+        println!("xtask lint: clean ({} crates scanned)", crates.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <repo>/crates/xtask at compile time; fall back
+    // to the current directory when invoked as a bare binary.
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => Path::new(dir)
+            .ancestors()
+            .nth(2)
+            .expect("manifest dir has two ancestors")
+            .to_path_buf(),
+        None => PathBuf::from("."),
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("source directory is readable") {
+        let path = entry.expect("directory entry is readable").path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn check_crate_root(src: &Path, findings: &mut Vec<Finding>) {
+    for root in ["lib.rs", "main.rs"] {
+        let path = src.join(root);
+        if !path.is_file() {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("source files are UTF-8");
+        if !text.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                file: path,
+                line: 1,
+                rule: "forbid-unsafe",
+                detail: "crate root lacks #![forbid(unsafe_code)]".into(),
+            });
+        }
+    }
+}
+
+/// Line scanner with just enough state to know (a) whether we are inside
+/// a `#[cfg(test)]` module and (b) whether we are inside the body of a
+/// hot-path function (`tick` / `emit` / `absorb`).
+fn scan_file(krate: &str, file: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let mut depth: i32 = 0;
+    // Brace depth at which a `#[cfg(test)] mod ...` body opened; test
+    // code extends until depth drops back to it.
+    let mut test_mod_at: Option<i32> = None;
+    let mut pending_cfg_test = false;
+    // Ditto for the body of a hot-path fn, with its name.
+    let mut hot_fn: Option<(i32, &'static str)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        let trimmed = line.trim();
+        let lineno = idx + 1;
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && trimmed.starts_with("mod ") {
+            test_mod_at = test_mod_at.or(Some(depth));
+            pending_cfg_test = false;
+        } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            pending_cfg_test = false;
+        }
+        let in_tests = test_mod_at.is_some();
+        if !in_tests {
+            if line.contains(BARRIER) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "no-std-barrier",
+                    detail: format!("{BARRIER} outside tests; use sim::sync::SyncFamily"),
+                });
+            }
+            if NO_UNWRAP_CRATES.contains(&krate) && line.contains(UNWRAP) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "no-unwrap",
+                    detail: "use .expect(\"invariant\") in library code".into(),
+                });
+            }
+            if hot_fn.is_none() {
+                for name in HOT_FNS {
+                    if let Some(pos) = line.find(&format!("fn {name}")) {
+                        // Exact name match: next char ends the identifier.
+                        let after = line[pos + 3 + name.len()..].chars().next();
+                        if matches!(after, Some('(') | Some('<')) {
+                            hot_fn = Some((depth, name));
+                        }
+                    }
+                }
+            } else if let Some((_, name)) = hot_fn {
+                for pat in ["Vec::new", "Box::new", "vec!["] {
+                    if line.contains(pat) {
+                        findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: lineno,
+                            rule: "hot-path-alloc",
+                            detail: format!(
+                                "{pat} inside fn {name}: per-cycle paths are allocation-free"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if test_mod_at == Some(depth) {
+                        test_mod_at = None;
+                    }
+                    if hot_fn.is_some_and(|(d, _)| d == depth) {
+                        hot_fn = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Drops `//` comments so commented-out code never trips a rule. Good
+/// enough for this codebase: `//` inside string literals is not handled.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
