@@ -1,0 +1,113 @@
+//! E12 — the analytical GT fast-forward backend.
+//!
+//! No counterpart in the paper: this experiment evaluates the *simulator's*
+//! fast-forward engine seam, not the modeled hardware. Three questions:
+//!
+//! 1. **Pure-GT win** — on a 16x16 mesh of endless GT streams (state
+//!    strictly periodic in the slot-table rotation), how much faster is a
+//!    run when the engine certifies one rotation and extrapolates the rest?
+//!    The `ff_speedup_pure_gt_16x16` derived ratio is the PR acceptance
+//!    number (target ≥ 5x).
+//! 2. **Mixed-traffic safety** — on the BE uniform 8x8 mesh (never
+//!    certifiable: wormhole state and credit budgets drift), the enabled
+//!    backend must cost (nearly) nothing: probes are gated on eligibility
+//!    and back off on decline. `ff_mixed_overhead` is on/off time (target
+//!    ≤ 1.05).
+//! 3. **Sharded composition** — a one-row GT band on a 16x16 mesh split in
+//!    two: the busy region fast-forwards inside its sole-awake window while
+//!    the idle region sleeps, at slack batch 1 and 16.
+//!
+//! All modes are bit-identical by construction — pinned by the
+//! `ff_parity` facade tests, re-checked cheaply here before timing.
+
+use aethereal_bench::harness::Criterion;
+use aethereal_bench::{criterion_group, criterion_main};
+use aethereal_bench::{
+    gt_received, gt_stream_mesh, sharded_gt_stream_mesh, stream_mesh, MeshTraffic,
+};
+
+const CYCLES: u64 = 10_000;
+
+/// Cycles ticked before timing: past the startup transient (queues filling
+/// toward the periodic steady state), so samples measure the regime each
+/// mode settles into, not the one-off warmup.
+const WARMUP: u64 = 2_000;
+
+fn bench_pure_gt(c: &mut Criterion) {
+    // Parity spot-check before timing anything.
+    let mut ff = gt_stream_mesh(16, 16, 16);
+    let mut cc = gt_stream_mesh(16, 16, 16);
+    ff.set_fast_forward(true);
+    ff.run(CYCLES);
+    cc.run(CYCLES);
+    assert_eq!(
+        gt_received(&ff, 16, 16),
+        gt_received(&cc, 16, 16),
+        "fast-forward broke delivery parity"
+    );
+    assert!(ff.ff_stats().jumps > 0, "pure-GT 16x16 must certify");
+
+    c.bench_function("gt16x16_ff_off_10k", |b| {
+        let mut sys = gt_stream_mesh(16, 16, 16);
+        sys.run(WARMUP);
+        b.iter(|| sys.run(CYCLES));
+    });
+    c.bench_function("gt16x16_ff_on_10k", |b| {
+        let mut sys = gt_stream_mesh(16, 16, 16);
+        sys.set_fast_forward(true);
+        sys.run(WARMUP);
+        b.iter(|| sys.run(CYCLES));
+    });
+    let off = c.median_of("gt16x16_ff_off_10k").expect("just measured");
+    let on = c.median_of("gt16x16_ff_on_10k").expect("just measured");
+    c.derived("ff_speedup_pure_gt_16x16", off / on);
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    c.bench_function("mesh8x8_uniform_ff_off_10k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        sys.run(WARMUP);
+        b.iter(|| sys.run(CYCLES));
+    });
+    c.bench_function("mesh8x8_uniform_ff_on_10k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        sys.set_fast_forward(true);
+        sys.run(WARMUP);
+        b.iter(|| sys.run(CYCLES));
+    });
+    let off = c
+        .median_of("mesh8x8_uniform_ff_off_10k")
+        .expect("just measured");
+    let on = c
+        .median_of("mesh8x8_uniform_ff_on_10k")
+        .expect("just measured");
+    c.derived("ff_mixed_overhead", on / off);
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    for batch in [1u64, 16] {
+        for ff_on in [false, true] {
+            let name = format!(
+                "gt16x16_band_shard2_b{batch}_ff_{}_10k",
+                if ff_on { "on" } else { "off" }
+            );
+            c.bench_with_params(&name, &[("shards", 2), ("batch", batch)], |b| {
+                let mut sharded = sharded_gt_stream_mesh(16, 16, 1, 2);
+                sharded.set_batch(batch);
+                sharded.set_fast_forward(ff_on);
+                sharded.run(WARMUP);
+                b.iter(|| sharded.run(CYCLES));
+            });
+        }
+    }
+    let off = c
+        .median_of("gt16x16_band_shard2_b16_ff_off_10k")
+        .expect("just measured");
+    let on = c
+        .median_of("gt16x16_band_shard2_b16_ff_on_10k")
+        .expect("just measured");
+    c.derived("ff_speedup_sharded_band_b16", off / on);
+}
+
+criterion_group!(e12, bench_pure_gt, bench_mixed, bench_sharded);
+criterion_main!(e12);

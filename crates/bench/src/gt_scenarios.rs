@@ -1,0 +1,127 @@
+//! Pure-GT streaming meshes for the fast-forward benches.
+//!
+//! Unlike [`shard_scenarios`](crate::shard_scenarios) (BE traffic under
+//! contention), these build workloads the analytical fast-forward backend
+//! can certify: endless GT streams between horizontally adjacent NIs, all
+//! state strictly periodic in the 24-cycle slot-table rotation. Each pair
+//! reserves four forward slots and two reverse (credit) slots on its own
+//! links, so no two streams ever share a wire and the calendar stays
+//! conflict-free at any mesh size.
+//!
+//! `busy_rows` confines the streams to the top rows of the mesh: with a
+//! row-band [`Partition`], the remaining regions sleep and the shard
+//! runner's sole-awake fast-forward window opens.
+
+use aethereal_cfg::shard::ShardedSystem;
+use aethereal_cfg::{presets, NocSpec, NocSystem, TopologySpec};
+use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
+use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
+use aethereal_proto::{CountingSink, StreamSource};
+use noc_sim::shard::Partition;
+
+/// Builds a `width × height` mesh (one raw NI per router, stream ports at
+/// clock div 4) with an endless GT stream between each horizontally
+/// adjacent NI pair of the top `busy_rows` rows. `width` must be even.
+pub fn gt_stream_mesh(width: usize, height: usize, busy_rows: usize) -> NocSystem {
+    assert!(width.is_multiple_of(2), "pairs need an even mesh width");
+    assert!(busy_rows <= height);
+    let mut spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width,
+            height,
+            nis_per_router: 1,
+        },
+        (0..width * height)
+            .map(|id| presets::raw_ni(id, 1))
+            .collect(),
+    );
+    for ni in &mut spec.nis {
+        // Production (6 words per 24-cycle rotation) stays under the four
+        // reserved forward slots, so queues settle into a periodic steady
+        // state instead of drifting.
+        ni.kernel.ports[1].clock_div = 4;
+    }
+    let topo = spec.topology.build();
+    let mut sys = NocSystem::from_spec(&spec);
+    for row in 0..busy_rows {
+        for pair in 0..width / 2 {
+            let src = row * width + 2 * pair;
+            let dst = src + 1;
+            let fwd = topo.route(src, dst).expect("adjacent route");
+            let rev = topo.route(dst, src).expect("adjacent route");
+            for (ni, path, slots) in [
+                (src, &fwd, &[0usize, 2, 4, 6][..]),
+                (dst, &rev, &[1, 5][..]),
+            ] {
+                let k = &mut sys.nis[ni].kernel;
+                k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE | CTRL_GT)
+                    .expect("register exists");
+                k.reg_write(chan_reg_addr(1, ChanReg::Space), 8)
+                    .expect("register exists");
+                k.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(path, 1))
+                    .expect("register exists");
+                for &s in slots {
+                    k.reg_write(slot_reg_addr(s), 2).expect("register exists");
+                }
+            }
+            sys.bind_raw(src, 1, vec![1], Box::new(StreamSource::counting(u64::MAX)));
+            sys.bind_raw(dst, 1, vec![1], Box::new(CountingSink::new()));
+        }
+    }
+    sys
+}
+
+/// [`gt_stream_mesh`] split into `shards` row bands.
+pub fn sharded_gt_stream_mesh(
+    width: usize,
+    height: usize,
+    busy_rows: usize,
+    shards: usize,
+) -> ShardedSystem {
+    let sys = gt_stream_mesh(width, height, busy_rows);
+    let topo = noc_sim::Topology::mesh(width, height, 1);
+    let partition = Partition::mesh_rows(width, height, shards);
+    ShardedSystem::new(sys, &topo, &partition)
+}
+
+/// Total words received across all [`CountingSink`]s of a pure-GT mesh.
+pub fn gt_received(sys: &NocSystem, width: usize, busy_rows: usize) -> u64 {
+    let mut total = 0;
+    for row in 0..busy_rows {
+        for pair in 0..width / 2 {
+            let dst = row * width + 2 * pair + 1;
+            total += sys.raw_ip_at::<CountingSink>(dst).count();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gt_mesh_streams_flow_and_fast_forward_certifies() {
+        let mut ff = gt_stream_mesh(4, 4, 4);
+        let mut cc = gt_stream_mesh(4, 4, 4);
+        ff.set_fast_forward(true);
+        ff.run(10_000);
+        cc.run(10_000);
+        assert!(ff.ff_stats().jumps > 0, "pure-GT mesh must certify");
+        assert_eq!(ff.noc.gt_conflicts(), 0);
+        let (f, c) = (gt_received(&ff, 4, 4), gt_received(&cc, 4, 4));
+        assert_eq!(f, c, "fast-forward changed delivery");
+        assert!(f > 8 * 1_000, "streams actually flowed (got {f})");
+    }
+
+    #[test]
+    fn banded_gt_mesh_fast_forwards_when_sharded() {
+        let mut sharded = sharded_gt_stream_mesh(4, 4, 1, 2);
+        sharded.set_fast_forward(true);
+        sharded.run(10_000);
+        assert!(
+            sharded.ff_stats().jumps > 0,
+            "sole-awake band region must fast-forward"
+        );
+    }
+}

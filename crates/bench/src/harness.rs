@@ -55,15 +55,30 @@ pub struct Measurement {
 
 /// One recorded benchmark: its name, the scenario parameters it ran with
 /// (e.g. shard count and batch size — emitted into the `BENCH_JSON`
-/// record so perf history stays self-describing), and the measurement.
+/// record so perf history stays self-describing), the host's available
+/// parallelism and the worker-thread count the scenario used (so
+/// multi-core scaling numbers land automatically when the host allows),
+/// and the measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Benchmark name.
     pub name: String,
     /// Scenario parameters, in declaration order.
     pub params: Vec<(String, u64)>,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_parallelism: u64,
+    /// Worker threads the scenario ran with (1 = single-threaded driver;
+    /// see [`Criterion::set_worker_threads`]).
+    pub worker_threads: u64,
     /// The timing measurement.
     pub measurement: Measurement,
+}
+
+/// The measuring host's available parallelism (1 when unknown).
+pub fn host_parallelism() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 /// Runs the body handed to [`Bencher::iter`] and times it.
@@ -88,12 +103,21 @@ impl Bencher {
 pub struct Criterion {
     results: Vec<BenchRecord>,
     derived: Vec<(String, f64)>,
+    worker_threads: u64,
 }
 
 impl Criterion {
     /// Creates a driver.
     pub fn new() -> Self {
         Criterion::default()
+    }
+
+    /// Declares how many worker threads the following benchmarks drive
+    /// (e.g. before a `run_parallel` sweep); recorded into every
+    /// subsequent [`BenchRecord`]. 0 (the default) records as 1.
+    pub fn set_worker_threads(&mut self, n: u64) -> &mut Self {
+        self.worker_threads = n;
+        self
     }
 
     /// Benchmarks `f`, which must call [`Bencher::iter`] exactly once.
@@ -154,6 +178,8 @@ impl Criterion {
         self.results.push(BenchRecord {
             name: name.to_string(),
             params: params.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            host_parallelism: host_parallelism(),
+            worker_threads: self.worker_threads.max(1),
             measurement: m,
         });
         self
@@ -203,9 +229,16 @@ impl Criterion {
                 format!(", \"params\": {{{}}}", body.join(", "))
             };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\"{params}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
+                "    {{\"name\": \"{}\"{params}, \"host_parallelism\": {}, \
+                 \"worker_threads\": {}, \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \
                  \"min_ns\": {:.3}, \"iters_per_sample\": {}}}",
-                r.name, m.median_ns, m.mean_ns, m.min_ns, m.iters_per_sample
+                r.name,
+                r.host_parallelism,
+                r.worker_threads,
+                m.median_ns,
+                m.mean_ns,
+                m.min_ns,
+                m.iters_per_sample
             ));
         }
         out.push_str("\n  ],\n  \"derived\": [\n");
@@ -286,5 +319,17 @@ mod tests {
             r.params,
             vec![("shards".to_string(), 2), ("batch".to_string(), 16)]
         );
+    }
+
+    #[test]
+    fn host_parallelism_recorded() {
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1u64));
+        c.set_worker_threads(4)
+            .bench_function("threaded", |b| b.iter(|| 1u64));
+        assert_eq!(c.results()[0].host_parallelism, host_parallelism());
+        assert!(c.results()[0].host_parallelism >= 1);
+        assert_eq!(c.results()[0].worker_threads, 1);
+        assert_eq!(c.results()[1].worker_threads, 4);
     }
 }

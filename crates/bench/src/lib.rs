@@ -10,11 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gt_scenarios;
 pub mod harness;
 pub mod scenarios;
 pub mod shard_scenarios;
 pub mod table;
 
+pub use gt_scenarios::{gt_received, gt_stream_mesh, sharded_gt_stream_mesh};
 pub use scenarios::{master_slave_system, stream_system, StreamSetup};
 pub use shard_scenarios::{
     sharded_received, sharded_stream_mesh, single_received, stream_mesh, CountingSink, MeshTraffic,

@@ -100,6 +100,18 @@ impl Value {
         u32::try_from(self.as_u64()?).map_err(|_| JsonError::new("number too large for u32"))
     }
 
+    /// The value as `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
     /// The value as a string slice.
     ///
     /// # Errors

@@ -69,7 +69,10 @@ impl ShardedSystem {
             masters,
             slaves,
             raws,
+            ff_enabled,
+            ff_stats,
         } = sys;
+        debug_assert_eq!(ff_stats, Default::default(), "split happens before any run");
         let start_cycle = noc.cycle();
         let shards = noc.split(topology, partition);
         let wires = wires_of(&shards);
@@ -123,6 +126,8 @@ impl ShardedSystem {
                 masters: region_masters.next().expect("one binding set per shard"),
                 slaves: region_slaves.next().expect("one binding set per shard"),
                 raws: region_raws.next().expect("one binding set per shard"),
+                ff_enabled,
+                ff_stats,
             });
             routers.push(shard.routers);
             ni_maps.push(shard.nis);
@@ -177,6 +182,26 @@ impl ShardedSystem {
     /// Regions currently in the activity set (for diagnostics).
     pub fn awake_count(&self) -> usize {
         self.runner.awake_count()
+    }
+
+    /// Enables (or disables) the analytical fast-forward backend in every
+    /// region (see [`NocSystem::set_fast_forward`]). Only
+    /// [`ShardedSystem::run`] makes fast-forward offers;
+    /// [`ShardedSystem::run_parallel`] never does (see
+    /// [`ShardRunner::run_parallel`](noc_sim::shard::ShardRunner::run_parallel)).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        for r in &mut self.regions {
+            r.set_fast_forward(on);
+        }
+    }
+
+    /// Cumulative fast-forward activity summed across the regions.
+    pub fn ff_stats(&self) -> noc_sim::FfStats {
+        let mut total = noc_sim::FfStats::default();
+        for r in &self.regions {
+            total.merge(&r.ff_stats);
+        }
+        total
     }
 
     /// Runs `cycles` lockstep cycles on the calling thread, idle regions

@@ -111,6 +111,13 @@ pub struct NocSpec {
     /// Optional region/gateway declaration steering where routes longer
     /// than one header split (two-level routing). `None` splits greedily.
     pub regions: Option<RegionsSpec>,
+    /// Whether the built system runs with the analytical GT fast-forward
+    /// backend enabled (see `noc_sim::ff`): pure-GT steady states are
+    /// certified over two slot-table rotations and then extrapolated
+    /// arithmetically, falling back to cycle-accurate ticking the moment
+    /// any state is non-trivial. Off by default — a pure performance knob,
+    /// bit-identical when on.
+    pub fast_forward: bool,
 }
 
 /// Spec validation errors.
@@ -182,6 +189,7 @@ impl NocSpec {
             be_queue_words: 8,
             partition: None,
             regions: None,
+            fast_forward: false,
         }
     }
 
@@ -194,6 +202,12 @@ impl NocSpec {
     /// Sets the region/gateway declaration for two-level routing.
     pub fn with_regions(mut self, regions: RegionsSpec) -> Self {
         self.regions = Some(regions);
+        self
+    }
+
+    /// Enables (or disables) the analytical GT fast-forward backend.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 
@@ -340,6 +354,7 @@ impl NocSpec {
                     None => Value::Null,
                 },
             ),
+            ("fast_forward", Value::Bool(self.fast_forward)),
         ])
     }
 
@@ -380,6 +395,11 @@ impl NocSpec {
                         .map(Value::as_usize)
                         .collect::<Result<_, _>>()?,
                 }),
+            },
+            // Absent in pre-fast-forward spec files: cycle-accurate only.
+            fast_forward: match v.get_opt("fast_forward") {
+                None | Some(Value::Null) => false,
+                Some(b) => b.as_bool()?,
             },
         })
     }
@@ -739,6 +759,24 @@ mod tests {
             .replace(",\n  \"regions\": null", "");
         let parsed = NocSpec::from_json(&old).expect("old files parse");
         assert_eq!(parsed.regions, None);
+    }
+
+    #[test]
+    fn fast_forward_roundtrips_and_old_files_parse() {
+        let spec = small_spec().with_fast_forward(true);
+        let json = spec.to_json().expect("serializes");
+        assert!(json.contains("fast_forward"));
+        let back = NocSpec::from_json(&json).expect("parses");
+        assert_eq!(back, spec);
+        assert!(back.fast_forward);
+        // A pre-fast-forward file (no field) parses with the backend off.
+        let old = small_spec()
+            .to_json()
+            .unwrap()
+            .replace(",\n  \"fast_forward\": false", "");
+        assert!(!old.contains("fast_forward"), "field stripped: {old}");
+        let parsed = NocSpec::from_json(&old).expect("old files parse");
+        assert!(!parsed.fast_forward);
     }
 
     #[test]

@@ -14,8 +14,10 @@ use aethereal_ni::Ni;
 use aethereal_proto::ip::RawPort;
 use aethereal_proto::{MasterIp, RawIp, SlaveIp};
 use noc_sim::engine::{ClockDomain, Clocked, ClockedWith, Engine};
+use noc_sim::ff::{self, FastForwardable, FfDigest, FfOutcome, FfStats, FfVisit};
 use noc_sim::shard::ShardRegion;
-use noc_sim::Noc;
+use noc_sim::word::SLOT_WORDS;
+use noc_sim::{Noc, Router};
 
 pub(crate) struct MasterBinding {
     pub(crate) ni: usize,
@@ -47,6 +49,10 @@ pub struct NocSystem {
     pub(crate) masters: Vec<MasterBinding>,
     pub(crate) slaves: Vec<SlaveBinding>,
     pub(crate) raws: Vec<RawBinding>,
+    /// Whether [`NocSystem::run`] drives the analytical fast-forward
+    /// backend ([`Engine::run_ff`]) instead of plain [`Engine::run`].
+    pub(crate) ff_enabled: bool,
+    pub(crate) ff_stats: FfStats,
 }
 
 impl std::fmt::Debug for NocSystem {
@@ -78,6 +84,8 @@ impl NocSystem {
             masters: Vec::new(),
             slaves: Vec::new(),
             raws: Vec::new(),
+            ff_enabled: spec.fast_forward,
+            ff_stats: FfStats::default(),
         }
     }
 
@@ -216,16 +224,178 @@ impl NocSystem {
         Engine::tick(self);
     }
 
-    /// Runs `n` cycles through [`Engine::run`] (with its quiescent fast
-    /// path). For a predicate-driven run use
-    /// `Engine::run_until(&mut sys, pred, max)`.
+    /// Runs `n` cycles — through [`Engine::run_ff`] when the fast-forward
+    /// backend is enabled ([`NocSystem::set_fast_forward`], or the spec's
+    /// `fast_forward` flag), through plain [`Engine::run`] (with its
+    /// quiescent fast path) otherwise. Bit-identical either way. For a
+    /// predicate-driven run use `Engine::run_until(&mut sys, pred, max)`.
     pub fn run(&mut self, n: u64) {
-        Engine::run(self, n);
+        if self.ff_enabled {
+            Engine::run_ff(self, n);
+        } else {
+            Engine::run(self, n);
+        }
     }
 
     /// Whether every bound master and raw IP reports `done()`.
     pub fn all_ips_done(&self) -> bool {
         self.masters.iter().all(|b| b.ip.done()) && self.raws.iter().all(|b| b.ip.done())
+    }
+
+    // ---- Analytical GT fast-forward (see `noc_sim::ff`) ---------------
+
+    /// Enables (or disables) the analytical fast-forward backend for
+    /// subsequent [`NocSystem::run`] calls.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.ff_enabled = on;
+    }
+
+    /// Whether the fast-forward backend is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.ff_enabled
+    }
+
+    /// Cumulative fast-forward activity (jumps applied, cycles covered).
+    pub fn ff_stats(&self) -> FfStats {
+        self.ff_stats
+    }
+
+    /// The structural pre-gate: only a system whose entire dynamic state
+    /// is pure threshold-free GT streaming can be periodic. Any master or
+    /// slave binding (transaction traffic), any BE word anywhere, any
+    /// shell activity, any threshold/flush/CNIP state declines — the
+    /// fallback is always cycle-accurate ticking.
+    fn ff_eligible(&self) -> bool {
+        self.masters.is_empty()
+            && self.slaves.is_empty()
+            && self.noc.be_quiet()
+            && self.nis.iter().all(Ni::ff_ready)
+    }
+
+    /// The candidate period: every NI's slot-table rotation
+    /// (`stu_slots × SLOT_WORDS` base cycles) composed with every raw
+    /// IP's port-clock divider, so one period contains a whole number of
+    /// rotations of every TDM table *and* a whole number of ticks of
+    /// every IP.
+    fn ff_period(&self) -> u64 {
+        let mut p = 1u64;
+        for ni in &self.nis {
+            p = ff::lcm(p, ni.kernel.spec().stu_slots as u64 * SLOT_WORDS);
+        }
+        for b in &self.raws {
+            p = ff::lcm(p, u64::from(b.clock.div()));
+        }
+        p
+    }
+
+    /// GT-invariant violation counters (conflicts, overflows, orphans):
+    /// any growth during the probe means the configuration is broken
+    /// (e.g. a corrupted slot table) and extrapolation is refused — a
+    /// violating run must stay cycle-accurate so the violation stays
+    /// observable at its true cycle.
+    fn ff_violations(&self) -> u64 {
+        self.noc.gt_conflicts()
+            + self.noc.be_overflows()
+            + self
+                .noc
+                .routers()
+                .iter()
+                .map(Router::gt_orphans)
+                .sum::<u64>()
+    }
+
+    /// One deterministic traversal of the complete wire-visible state:
+    /// network (wires, routers, calendars, statistics), NI kernels
+    /// (channels, queues, slot tables, counters) and raw IPs. Masters and
+    /// slaves are pre-gated empty; idle shell stacks are certified
+    /// stateless by [`Ni::ff_ready`].
+    fn ff_visit_all(&mut self, v: &mut dyn FfVisit) {
+        self.noc.ff_visit(v);
+        for ni in &mut self.nis {
+            ni.ff_visit(v);
+        }
+        for b in &mut self.raws {
+            b.ip.ff_visit(v);
+        }
+    }
+
+    /// Whether every routable GT channel's source route stays inside this
+    /// region (no hop through a shard boundary) — the extra gate a shard
+    /// region needs before probing alone.
+    fn ff_routes_local(&self) -> bool {
+        self.nis.iter().enumerate().all(|(ni, n)| {
+            (0..n.kernel.channel_count()).all(|ch| {
+                let c = n.kernel.channel(ch);
+                !(c.is_enabled()
+                    && c.is_gt()
+                    && c.route_configured()
+                    && self
+                        .noc
+                        .route_crosses_boundary(ni, c.route_hops().into_iter()))
+            })
+        })
+    }
+}
+
+/// The analytical GT fast-forward backend: certify-then-extrapolate.
+///
+/// After the structural pre-gates pass, the system is ticked cycle-
+/// accurately for two full periods, capturing a state digest at each
+/// period boundary. If the three digests certify as periodic (control
+/// state repeats exactly, counters and queued values advance by identical
+/// deltas, stamps slide by exactly one period — [`ff::periodic_deltas`]),
+/// the remaining whole periods are applied arithmetically in one state
+/// walk. Anything else declines, and [`Engine::run_ff`] falls back to
+/// cycle-accurate ticking — so the backend is bit-identical by
+/// construction: it only ever skips work it has proven repetitive.
+impl FastForwardable for NocSystem {
+    fn fast_forward(&mut self, max: u64) -> FfOutcome {
+        if !self.ff_eligible() {
+            return FfOutcome::DECLINED;
+        }
+        let period = self.ff_period();
+        if period == 0 || period > ff::FF_MAX_PERIOD || max < 3 * period {
+            return FfOutcome::DECLINED;
+        }
+        let violations = self.ff_violations();
+        let mut d0 = FfDigest::new(self.cycle());
+        self.ff_visit_all(&mut d0);
+        if d0.rejected() {
+            return FfOutcome::DECLINED;
+        }
+        // Probe: two real rotations, digesting after each.
+        Engine::run(self, period);
+        let mut d1 = FfDigest::new(self.cycle());
+        self.ff_visit_all(&mut d1);
+        Engine::run(self, period);
+        let mut d2 = FfDigest::new(self.cycle());
+        self.ff_visit_all(&mut d2);
+        let advanced = 2 * period;
+        let ticked = FfOutcome {
+            advanced,
+            jumped: 0,
+        };
+        if self.ff_violations() != violations {
+            return ticked;
+        }
+        let Some(deltas) = ff::periodic_deltas(&d0, &d1, &d2) else {
+            return ticked;
+        };
+        let k = (max - advanced) / period;
+        if k == 0 {
+            return ticked;
+        }
+        // Apply: replay the certified per-period deltas k times in one
+        // identical traversal of the same state that produced d2.
+        let mut apply = ff::FfApply::new(&deltas, k);
+        self.ff_visit_all(&mut apply);
+        debug_assert!(apply.matched(), "apply traversal diverged from digest");
+        self.ff_stats.jumps += 1;
+        self.ff_stats.cycles_jumped += k * period;
+        FfOutcome {
+            advanced: advanced + k * period,
+            jumped: k * period,
+        }
     }
 }
 
@@ -345,6 +515,18 @@ impl ShardRegion for NocSystem {
     fn shard_noc_mut(&mut self) -> &mut Noc {
         &mut self.noc
     }
+
+    /// A region fast-forwards only while its cut wires are silent and
+    /// every GT circuit stays inside the region: the probe ticks the
+    /// region alone, so any boundary crossing during the probed window
+    /// would be lost. With both gates passed, the single-system backend
+    /// applies unchanged.
+    fn fast_forward_region(&mut self, max: u64) -> FfOutcome {
+        if !self.ff_enabled || !self.noc.boundaries_silent() || !self.ff_routes_local() {
+            return FfOutcome::DECLINED;
+        }
+        self.fast_forward(max)
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +569,117 @@ mod tests {
         let met = Engine::run_until(&mut sys, |_| false, 7);
         assert!(!met);
         assert_eq!(sys.cycle(), 7);
+    }
+
+    /// A 2x1 mesh of raw streaming NIs with a **GT** channel NI 0 → NI 1
+    /// (4 of 8 slots reserved) and a GT credit-return channel NI 1 → NI 0
+    /// (2 slots): a [`StreamSource`] of `total` words feeds a counting
+    /// sink. The raw ports tick at div 4, so production (6 words per
+    /// 24-cycle slot rotation) never outruns the reserved GT bandwidth —
+    /// the steady state is exactly periodic.
+    fn gt_stream_system(total: u64) -> NocSystem {
+        use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
+        use aethereal_ni::kernel::{chan_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
+        use aethereal_proto::{CountingSink, StreamSource};
+
+        let mut spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 1,
+            },
+            (0..2).map(|id| presets::raw_ni(id, 1)).collect(),
+        );
+        for ni in &mut spec.nis {
+            ni.kernel.ports[1].clock_div = 4;
+        }
+        let topo = spec.topology.build();
+        let mut sys = NocSystem::from_spec(&spec);
+        let p = topo.route(0, 1).unwrap();
+        let rev = topo.route(1, 0).unwrap();
+        for (ni, path, slots) in [(0, &p, &[0usize, 2, 4, 6][..]), (1, &rev, &[1, 5][..])] {
+            let k = &mut sys.nis[ni].kernel;
+            k.reg_write(chan_reg_addr(1, ChanReg::Ctrl), CTRL_ENABLE | CTRL_GT)
+                .unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::Space), 8).unwrap();
+            k.reg_write(chan_reg_addr(1, ChanReg::PathRqid), pack_path_rqid(path, 1))
+                .unwrap();
+            for &s in slots {
+                k.reg_write(slot_reg_addr(s), 2).unwrap();
+            }
+        }
+        sys.bind_raw(0, 1, vec![1], Box::new(StreamSource::counting(total)));
+        sys.bind_raw(1, 1, vec![1], Box::new(CountingSink::new()));
+        sys
+    }
+
+    /// Full-state snapshot via the fast-forward visitor: every field the
+    /// digest classifies, rendered through `Debug`. Two systems at the same
+    /// cycle are wire-identical iff their snapshots match.
+    fn ff_snapshot(sys: &mut NocSystem) -> String {
+        let mut d = FfDigest::new(sys.cycle());
+        sys.ff_visit_all(&mut d);
+        format!("{d:?}")
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_pure_gt_stream() {
+        use aethereal_proto::CountingSink;
+        let mut ff = gt_stream_system(u64::MAX);
+        let mut cc = gt_stream_system(u64::MAX);
+        ff.set_fast_forward(true);
+        assert!(ff.fast_forward_enabled());
+        ff.run(50_000);
+        cc.run(50_000);
+        assert_eq!(ff.cycle(), cc.cycle());
+        assert!(ff.ff_stats().jumps > 0, "endless GT stream must certify");
+        assert!(ff.ff_stats().cycles_jumped > 0);
+        let (fs, cs) = (
+            ff.raw_ip_at::<CountingSink>(1),
+            cc.raw_ip_at::<CountingSink>(1),
+        );
+        assert_eq!(fs.count(), cs.count());
+        assert_eq!(fs.last(), cs.last());
+        assert!(fs.count() > 1_000, "stream actually flowed");
+        assert_eq!(ff_snapshot(&mut ff), ff_snapshot(&mut cc));
+    }
+
+    #[test]
+    fn bounded_stream_declines_but_stays_correct() {
+        use aethereal_proto::CountingSink;
+        let mut ff = gt_stream_system(200);
+        let mut cc = gt_stream_system(200);
+        ff.set_fast_forward(true);
+        ff.run(5_000);
+        cc.run(5_000);
+        assert_eq!(
+            ff.ff_stats().jumps,
+            0,
+            "bounded source rejects the digest: no jump may certify"
+        );
+        assert_eq!(
+            ff.raw_ip_at::<CountingSink>(1).count(),
+            cc.raw_ip_at::<CountingSink>(1).count()
+        );
+        assert_eq!(ff.raw_ip_at::<CountingSink>(1).count(), 200);
+        assert_eq!(ff_snapshot(&mut ff), ff_snapshot(&mut cc));
+    }
+
+    #[test]
+    fn fast_forward_spec_flag_propagates() {
+        let spec = NocSpec::new(
+            TopologySpec::Mesh {
+                width: 2,
+                height: 1,
+                nis_per_router: 1,
+            },
+            vec![presets::master_ni(0), presets::slave_ni(1)],
+        )
+        .with_fast_forward(true);
+        let sys = NocSystem::from_spec(&spec);
+        assert!(sys.fast_forward_enabled());
+        let sys2 = NocSystem::from_spec(&NocSpec::from_json(&spec.to_json().unwrap()).unwrap());
+        assert!(sys2.fast_forward_enabled());
     }
 
     #[test]

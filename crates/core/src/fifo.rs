@@ -171,10 +171,45 @@ impl HwFifo {
         }
     }
 
+    /// Visibility schedule: the earliest cycle at which at least `n` words
+    /// are reader-visible, or `None` when fewer than `n` words are queued
+    /// (more pushes — an external event — would be needed first). `n = 0`
+    /// is trivially visible at any cycle.
+    ///
+    /// The schedule is exact and monotone: timestamps are assigned at push
+    /// time and never change, so between now and the returned cycle the
+    /// visible count stays below `n` unless the writer pushes again.
+    pub fn visible_at_count(&self, n: usize) -> Option<u64> {
+        if n == 0 {
+            return Some(0);
+        }
+        self.q.get(n - 1).map(|&(_, t)| t)
+    }
+
     /// Removes all words (used on reset / connection close).
     pub fn clear(&mut self) {
         self.q.clear();
         self.visible.set(0);
+    }
+
+    /// Walks the queue through a fast-forward visitor (see
+    /// [`noc_sim::ff`](noc_sim::FfVisit)): occupancy as exact control
+    /// state, each queued word as a wrapping value and its visibility
+    /// timestamp as an absolute-cycle stamp.
+    ///
+    /// The lazily-synchronized visibility registers (`visible`/`seen_at`)
+    /// are deliberately not visited: they cache a *past* observation. A
+    /// jump shifts every queued stamp forward by the jumped cycles, and
+    /// every post-jump query happens at least that much later, so each
+    /// prefix entry counted at `seen_at` (`t ≤ seen_at`) still satisfies
+    /// `t + jump ≤ now' ` — the cached prefix remains a valid
+    /// under-approximation exactly as it would after ticking.
+    pub fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
+        v.exact(self.q.len() as u64);
+        for (w, t) in &mut self.q {
+            v.value(w);
+            v.stamp(t);
+        }
     }
 }
 
@@ -233,6 +268,20 @@ mod tests {
         // At cycle 4, only the first word has crossed.
         assert_eq!(f.sync_level(4), 1);
         assert_eq!(f.sync_level(7), 2);
+    }
+
+    #[test]
+    fn visible_at_count_reports_the_schedule() {
+        let mut f = HwFifo::new(8, 2);
+        f.push(1, 10).unwrap();
+        f.push(2, 15).unwrap();
+        assert_eq!(f.visible_at_count(0), Some(0));
+        assert_eq!(f.visible_at_count(1), Some(12));
+        assert_eq!(f.visible_at_count(2), Some(17));
+        assert_eq!(f.visible_at_count(3), None, "not queued yet");
+        // The schedule agrees with sync_level at every cycle.
+        assert_eq!(f.sync_level(16), 1);
+        assert_eq!(f.sync_level(17), 2);
     }
 
     #[test]

@@ -226,6 +226,62 @@ impl Channel {
         self.credit_flush = true;
     }
 
+    /// The full hop sequence of the configured source route, across the
+    /// header path and every continuation segment, in travel order. Used
+    /// by the shard runner's fast-forward gate to check route locality.
+    pub fn route_hops(&self) -> Vec<noc_sim::PortIdx> {
+        let mut hops: Vec<_> = noc_sim::Path::decode(self.path_bits()).iter().collect();
+        for k in 0..self.ext_count() {
+            hops.extend(noc_sim::Path::decode(self.ext_bits(k)).iter());
+        }
+        hops
+    }
+
+    /// Whether the channel carries no dynamic state a fast-forward probe
+    /// would need to model beyond the pure per-cycle GT pattern: no
+    /// threshold gating (data/credit thresholds ≤ 1), no flush snapshot in
+    /// flight and no forced credit flush. Disabled or unroutable channels
+    /// must instead be fully inert (empty queues, no pending credits).
+    pub fn ff_ready(&self) -> bool {
+        if self.enabled && self.gt && self.route_configured() {
+            self.data_threshold <= 1
+                && self.credit_threshold <= 1
+                && self.flush_remaining == 0
+                && !self.credit_flush
+        } else {
+            self.src_q.is_empty()
+                && self.dst_q.is_empty()
+                && self.credit_counter == 0
+                && self.flush_remaining == 0
+                && !self.credit_flush
+        }
+    }
+
+    /// Walks the channel's wire-visible state through a fast-forward
+    /// visitor (see [`noc_sim::ff`](noc_sim::FfVisit)).
+    pub fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
+        v.exact(u64::from(self.enabled));
+        v.exact(u64::from(self.gt));
+        v.exact(u64::from(self.path_rqid));
+        for e in &self.path_ext {
+            v.exact(u64::from(*e));
+        }
+        v.exact(u64::from(self.data_threshold));
+        v.exact(u64::from(self.credit_threshold));
+        v.exact(u64::from(self.space));
+        v.exact(u64::from(self.credit_counter));
+        v.exact(u64::from(self.flush_remaining));
+        v.exact(u64::from(self.credit_flush));
+        self.src_q.ff_visit(v);
+        self.dst_q.ff_visit(v);
+        v.counter(&mut self.stats.words_tx);
+        v.counter(&mut self.stats.words_rx);
+        v.counter(&mut self.stats.packets_tx);
+        v.counter(&mut self.stats.credit_only_tx);
+        v.counter(&mut self.stats.credits_tx);
+        v.counter(&mut self.stats.flushes);
+    }
+
     /// Resets all dynamic state (used when the CNIP disables the channel —
     /// closing a connection).
     pub(crate) fn reset_dynamic(&mut self) {

@@ -659,16 +659,89 @@ impl NiKernel {
         u64::MAX
     }
 
-    /// GT-slot dormancy: when the only thing keeping the kernel from strict
-    /// quiescence is *fully visible, immediately eligible* data queued on GT
-    /// channels, nothing can happen before the earliest reserved slot of
-    /// those channels — every tick up to there finds no slot owner with
-    /// sendable data (reserved-but-unused slots are exactly what
-    /// [`skip`](ClockedWith::skip) accounts for arithmetically). Returns
-    /// that boundary, `None` when the kernel is genuinely active or holds
-    /// state this analysis does not cover (partially visible words,
-    /// threshold-gated or credit-starved channels, pending credits, staged
-    /// words, CNIP output).
+    /// The first slot boundary at or after `now` (reserved or not) — when a
+    /// BE channel becomes eligible, the next boundary is where the
+    /// arbitration can first pick it.
+    fn next_boundary(now: u64) -> u64 {
+        now.div_ceil(SLOT_WORDS) * SLOT_WORDS
+    }
+
+    /// Earliest cycle at or after `now` at which channel `c` can be
+    /// scheduled on its own (no external pushes/pops), or `u64::MAX` when
+    /// no passage of time can make it eligible. Exact because every input
+    /// of [`Channel::eligible`] is monotone while the kernel sleeps: the
+    /// visible prefix of `src_q` only grows along the push-time visibility
+    /// schedule ([`HwFifo::visible_at_count`]), and `space`,
+    /// `credit_counter`, thresholds and flush state only change on
+    /// scheduling or external events.
+    fn channel_horizon(&self, c: &Channel, now: u64) -> u64 {
+        let mut horizon = u64::MAX;
+        // Rx side: reactive consumers (sinks, pipeline stages) report
+        // `done` and rely on the kernel to keep the system awake while
+        // undelivered words sit in a destination queue. A consumer can pop
+        // a word the cycle it becomes reader-visible, so the first queued
+        // word's crossing stamp bounds the sleep window (a visible word
+        // means "active right now").
+        if !c.dst_q.is_empty() {
+            horizon = c
+                .dst_q
+                .visible_at_count(1)
+                .expect("queue is non-empty")
+                .max(now);
+            if horizon <= now {
+                return now;
+            }
+        }
+        if !c.enabled || !c.route_configured() {
+            return horizon; // unschedulable regardless of time
+        }
+        if c.credit_eligible() {
+            // Credits above threshold (or flush-forced) go out in the next
+            // packet this channel can emit: its next reserved slot (GT) or
+            // the next arbitration boundary (BE).
+            horizon = horizon.min(if c.gt {
+                self.next_owned_boundary(c.id(), now)
+            } else {
+                Self::next_boundary(now)
+            });
+        }
+        // Data side: eligibility needs `min(visible, space) >= needed`.
+        // Words below the waterline (queued but still crossing the clock
+        // domain) become visible at their scheduled cycle; if even the
+        // writer-side level (or the space counter) is short, only an
+        // external event can help.
+        let needed = if c.flush_remaining > 0 {
+            1
+        } else {
+            c.data_threshold.max(1) as usize
+        };
+        if usize::min(c.src_level(), c.space() as usize) >= needed {
+            let visible = c
+                .src_q
+                .visible_at_count(needed)
+                .expect("level covers needed")
+                .max(now);
+            horizon = horizon.min(if c.gt {
+                self.next_owned_boundary(c.id(), visible)
+            } else {
+                Self::next_boundary(visible)
+            });
+        }
+        horizon
+    }
+
+    /// GT-slot dormancy: with no packet staged or draining and the CNIP
+    /// idle, the kernel acts next when some channel first becomes
+    /// schedulable — queued GT data waiting for its reserved slot, words
+    /// still crossing a clock-domain boundary, a threshold-gated channel
+    /// whose visibility schedule will clear the gate, or pending credits
+    /// above their threshold. [`channel_horizon`](Self::channel_horizon)
+    /// computes that cycle per channel; the minimum is the kernel's sleep
+    /// horizon (every tick before it only records reserved-but-unused
+    /// slots, which [`skip`](ClockedWith::skip) accounts for
+    /// arithmetically). Returns `None` when the kernel is genuinely active
+    /// or holds state this analysis does not cover (staged words, CNIP
+    /// traffic).
     fn gt_slot_horizon(&self, now: u64) -> Option<u64> {
         if !self.tx_gt.is_empty()
             || !self.tx_be.is_empty()
@@ -678,21 +751,10 @@ impl NiKernel {
         }
         let mut horizon = u64::MAX;
         for c in &self.channels {
-            if !c.dst_q.is_empty() || c.credit_counter != 0 {
-                return None;
+            horizon = horizon.min(self.channel_horizon(c, now));
+            if horizon <= now {
+                return None; // schedulable right now: genuinely active
             }
-            if c.src_q.is_empty() {
-                continue;
-            }
-            let covered = c.gt
-                && c.enabled
-                && c.route_configured()
-                && c.fully_visible(now)
-                && c.data_eligible(now);
-            if !covered {
-                return None;
-            }
-            horizon = horizon.min(self.next_owned_boundary(c.id(), now));
         }
         Some(horizon)
     }
@@ -706,6 +768,57 @@ impl NiKernel {
         } else if !self.tx_be.is_empty() && link.be_credits() > 0 {
             let w = self.tx_be.pop_front().expect("checked non-empty");
             link.send(w);
+        }
+    }
+
+    /// Whether the kernel's dynamic state is simple enough for analytical
+    /// fast-forward (see [`noc_sim::ff`](noc_sim::FastForwardable)): no BE
+    /// word staged, no CNIP operation in flight (neither buffered words
+    /// nor a partially assembled message), and every channel either a
+    /// threshold-free GT stream or fully inert
+    /// ([`Channel::ff_ready`]).
+    pub fn ff_ready(&self) -> bool {
+        self.tx_be.is_empty()
+            && self.cnip.as_ref().is_none_or(|c| {
+                c.out.is_empty() && c.asm.ready() == 0 && c.asm.partial_words() == 0
+            })
+            && self.channels.iter().all(Channel::ff_ready)
+    }
+
+    /// Walks the kernel's complete wire-visible state through a
+    /// fast-forward visitor: slot table and staging queues as exact
+    /// control state, statistics as periodic counters, and each channel's
+    /// registers, queues and counters via [`Channel::ff_visit`].
+    pub fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
+        for s in &self.slot_table {
+            v.exact(u64::from(*s));
+        }
+        v.exact(self.tx_gt.len() as u64);
+        for w in &mut self.tx_gt {
+            noc_sim::ff::visit_word(w, v);
+        }
+        v.exact(self.tx_be.len() as u64);
+        for w in &mut self.tx_be {
+            noc_sim::ff::visit_word(w, v);
+        }
+        for r in &self.rx_cur {
+            v.exact(r.map_or(0, |ch| ch as u64 + 1));
+        }
+        for p in &mut self.stats.packets_tx {
+            v.counter(p);
+        }
+        for p in &mut self.stats.packets_rx {
+            v.counter(p);
+        }
+        v.counter(&mut self.stats.header_words_tx);
+        v.counter(&mut self.stats.payload_words_tx);
+        v.counter(&mut self.stats.route_ext_words_tx);
+        v.counter(&mut self.stats.credit_only_tx);
+        v.counter(&mut self.stats.gt_slots_unused);
+        v.counter(&mut self.stats.cnip_ops);
+        v.counter(&mut self.stats.rx_drops);
+        for c in &mut self.channels {
+            c.ff_visit(v);
         }
     }
 }
@@ -1290,6 +1403,107 @@ mod tests {
         // No data at all: every pass over slots 0-1 counts unused.
         run(&mut noc, &mut k0, &mut k1, 48); // two table periods
         assert!(k0.stats().gt_slots_unused >= 2);
+    }
+
+    #[test]
+    fn dormancy_covers_partially_synced_fifo() {
+        let (_noc, mut k0, _k1, _) = paired_setup(true);
+        // A word pushed at cycle 10 crosses the clock domain at 12; NI0
+        // owns slots 0 and 1 (cycles 0-5 of each 24-cycle revolution), so
+        // the first boundary where the word can be scheduled is cycle 24.
+        k0.push_src(1, 42, 10).unwrap();
+        assert_eq!(ClockedWith::<NiLink>::dormant_until(&k0, 11), 24);
+    }
+
+    #[test]
+    fn dormancy_covers_threshold_gated_channels() {
+        let (_noc, mut k0, _k1, _) = paired_setup(true);
+        k0.reg_write(chan_reg_addr(1, ChanReg::DataThreshold), 4)
+            .unwrap();
+        k0.push_src(1, 1, 0).unwrap();
+        k0.push_src(1, 2, 0).unwrap();
+        // Two of four threshold words queued: no passage of time makes the
+        // channel eligible, so the kernel sleeps until an external push.
+        assert_eq!(ClockedWith::<NiLink>::dormant_until(&k0, 2), u64::MAX);
+        k0.push_src(1, 3, 2).unwrap();
+        k0.push_src(1, 4, 2).unwrap();
+        // The fourth word becomes visible at cycle 4; the next owned slot
+        // boundary at or after that is cycle 24.
+        assert_eq!(ClockedWith::<NiLink>::dormant_until(&k0, 2), 24);
+    }
+
+    #[test]
+    fn dormancy_covers_gated_and_eligible_credits() {
+        let (_noc, mut k0, _k1, _) = paired_setup(true);
+        k0.reg_write(chan_reg_addr(1, ChanReg::CreditThreshold), 4)
+            .unwrap();
+        k0.channels[1].credit_counter = 3;
+        assert_eq!(
+            ClockedWith::<NiLink>::dormant_until(&k0, 5),
+            u64::MAX,
+            "credits below threshold never move on their own"
+        );
+        k0.channels[1].credit_counter = 4;
+        assert_eq!(
+            ClockedWith::<NiLink>::dormant_until(&k0, 5),
+            24,
+            "credit-only packet waits for the next owned slot"
+        );
+    }
+
+    #[test]
+    fn dormancy_covers_crossing_rx_words() {
+        let (_noc, mut k0, _k1, _) = paired_setup(true);
+        // A delivered word still crossing toward the reader: a consumer
+        // can first pop it at its visibility stamp.
+        k0.channels[1].dst_q.push(7, 10).unwrap();
+        assert_eq!(ClockedWith::<NiLink>::dormant_until(&k0, 11), 12);
+        assert_eq!(
+            ClockedWith::<NiLink>::dormant_until(&k0, 12),
+            12,
+            "a visible rx word means active right now"
+        );
+    }
+
+    #[test]
+    fn widened_dormancy_skip_matches_ticking() {
+        use noc_sim::engine::Clocked;
+        let mk = || {
+            let (noc, mut k0, k1, _) = paired_setup(true);
+            k0.reg_write(chan_reg_addr(1, ChanReg::DataThreshold), 4)
+                .unwrap();
+            (noc, k0, k1)
+        };
+        let (mut noc_a, mut ka0, mut ka1) = mk();
+        let (mut noc_b, mut kb0, mut kb1) = mk();
+        run(&mut noc_a, &mut ka0, &mut ka1, 5);
+        run(&mut noc_b, &mut kb0, &mut kb1, 5);
+        for w in 0..4u32 {
+            ka0.push_src(1, w, 5).unwrap();
+            kb0.push_src(1, w, 5).unwrap();
+        }
+        let h = ClockedWith::<NiLink>::dormant_until(&ka0, 5);
+        assert!(h > 5, "widened horizon admits the gated channel");
+        let span = h - 5;
+        // A ticks through the dormant window; B skips it arithmetically.
+        run(&mut noc_a, &mut ka0, &mut ka1, span);
+        ClockedWith::<NiLink>::skip(&mut kb0, 5, span);
+        ClockedWith::<NiLink>::skip(&mut kb1, 5, span);
+        Clocked::skip(&mut noc_b, span);
+        // Resume ticking both: the stream must drain bit-identically.
+        run(&mut noc_a, &mut ka0, &mut ka1, 60);
+        run(&mut noc_b, &mut kb0, &mut kb1, 60);
+        assert_eq!(ka0.stats(), kb0.stats());
+        assert_eq!(ka1.stats(), kb1.stats());
+        let drain = |k: &mut NiKernel, now: u64| {
+            let mut v = Vec::new();
+            while let Some(w) = k.pop_dst(1, now) {
+                v.push(w);
+            }
+            v
+        };
+        assert_eq!(drain(&mut ka1, noc_a.cycle()), vec![0, 1, 2, 3]);
+        assert_eq!(drain(&mut kb1, noc_b.cycle()), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -213,6 +213,22 @@ impl Ni {
             PortStack::Config(c) => c.is_idle(),
         })
     }
+
+    /// Whether this NI is eligible for analytical fast-forward: all shell
+    /// stacks idle (an in-flight transaction couples message progress to
+    /// shell state the extrapolation does not model) and the kernel's
+    /// dynamic state limited to threshold-free GT streams
+    /// ([`NiKernel::ff_ready`]).
+    pub fn ff_ready(&self) -> bool {
+        self.stacks_idle() && self.kernel.ff_ready()
+    }
+
+    /// Walks the NI's wire-visible state through a fast-forward visitor.
+    /// Shell stacks are not walked: [`Ni::ff_ready`] certifies them idle,
+    /// and idle stacks hold no state that a pure-GT period can change.
+    pub fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
+        self.kernel.ff_visit(v);
+    }
 }
 
 /// A whole NI on the engine contract. One `tick` (absorb, then emit) is one

@@ -101,4 +101,18 @@ pub trait RawIp: for<'a> ClockedWith<RawPort<'a>> + Send {
             now
         }
     }
+
+    /// Walks the IP's dynamic state through a fast-forward visitor (see
+    /// [`noc_sim::ff`](noc_sim::FfVisit)), so pure-GT streaming systems can
+    /// extrapolate the IP together with the network.
+    ///
+    /// The default **rejects**: an IP that has not been audited for
+    /// periodic extrapolation poisons the fast-forward attempt, and the
+    /// system falls back to cycle-accurate ticking. Override only when
+    /// every field is classified — exact control state, wrapping counters
+    /// / values, or absolute-cycle stamps — and the IP's per-cycle
+    /// behavior is a pure function of that state.
+    fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
+        v.reject();
+    }
 }

@@ -29,7 +29,7 @@ pub mod traffic;
 
 pub use ip::{MasterIp, RawIp, SlaveIp};
 pub use memory::MemorySlave;
-pub use pixel::{PixelStage, StreamSink, StreamSource};
+pub use pixel::{CountingSink, PixelStage, StreamSink, StreamSource};
 pub use stats::LatencySummary;
 pub use trace::{Trace, TraceEntry, TraceMaster};
 pub use traffic::{TrafficGenerator, TrafficGeneratorConfig, TrafficMix};

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod ff;
 pub mod header;
 pub mod link;
 pub mod noc;
@@ -71,6 +72,7 @@ pub mod topology;
 pub mod word;
 
 pub use engine::{ClockDomain, Clocked, ClockedWith, Engine};
+pub use ff::{FastForwardable, FfOutcome, FfStats, FfVisit};
 pub use header::PacketHeader;
 pub use link::{LinkId, LinkState};
 pub use noc::{NiLink, Noc, NocConfig};

@@ -578,6 +578,125 @@ impl Noc {
             })
     }
 
+    /// Whether no best-effort traffic exists anywhere in the network: all
+    /// router BE queues, worms and arbitration state idle, and no BE-class
+    /// word on any wire, NI handle or boundary register. This is part of
+    /// the fast-forward eligibility gate (see [`crate::ff`]): BE progress
+    /// depends on round-robin arbitration history and credit dynamics,
+    /// which the analytical GT model does not extrapolate.
+    pub fn be_quiet(&self) -> bool {
+        let be = |w: &LinkWord| w.class() == WordClass::BestEffort;
+        self.routers.iter().all(Router::be_quiet)
+            && !self.links.iter().any(|l| l.wire.as_ref().is_some_and(be))
+            && !self
+                .ni_links
+                .iter()
+                .any(|h| h.outgoing.as_ref().is_some_and(be) || h.incoming.iter().any(be))
+            && !self
+                .boundaries
+                .iter()
+                .any(|b| b.out_word.as_ref().is_some_and(be) || b.in_word.as_ref().is_some_and(be))
+    }
+
+    /// Whether every shard boundary is completely silent: no pending word,
+    /// credit or dirty mark in either direction. A region may only
+    /// fast-forward while its cut wires are silent — the probe ticks the
+    /// region alone, so any boundary exchange during the probed window
+    /// would be lost.
+    pub fn boundaries_silent(&self) -> bool {
+        self.dirty_out.is_empty()
+            && self.dirty_in.is_empty()
+            && self.boundaries.iter().all(|b| {
+                b.out_word.is_none()
+                    && b.in_word.is_none()
+                    && b.out_credits == 0
+                    && b.in_credits == 0
+            })
+    }
+
+    /// Follows a source route hop by hop from NI `ni`'s attachment point
+    /// and reports whether it ever leaves this (possibly sharded) network
+    /// through a boundary port or an unwired port. `hops` is the full hop
+    /// sequence across all route segments
+    /// ([`Route::iter_hops`](crate::Route::iter_hops)).
+    ///
+    /// Used by the shard runner's fast-forward gate: a region may only
+    /// extrapolate GT streams whose circuits are entirely local.
+    pub fn route_crosses_boundary(&self, ni: NiId, hops: impl Iterator<Item = PortIdx>) -> bool {
+        let mut ep = self.links[self.ni_out_link[ni]].dst;
+        for p in hops {
+            let r = match ep {
+                Endpoint::Router { router, .. } => router,
+                // Delivered to an NI; trailing hops can't leave anymore.
+                Endpoint::Ni { .. } => return false,
+            };
+            let p = p as usize;
+            if self.boundary_at[r][p].is_some() {
+                return true;
+            }
+            match self.out_link[r][p] {
+                Some(l) => ep = self.links[l].dst,
+                // An unwired port swallows the word here; conservatively
+                // treat it as leaving the region.
+                None => return true,
+            }
+        }
+        false
+    }
+
+    /// Walks the complete wire-visible state of the network through a
+    /// fast-forward visitor (see [`crate::ff`]): the cycle counter, all
+    /// statistics counters, every wire, NI handle, boundary register and
+    /// router.
+    pub fn ff_visit(&mut self, v: &mut dyn crate::ff::FfVisit) {
+        use crate::ff::{visit_opt_word, visit_word};
+        v.counter(&mut self.cycle);
+        v.counter(&mut self.stats.cycles);
+        v.counter(&mut self.stats.gt_conflicts);
+        v.counter(&mut self.stats.be_overflows);
+        for d in &mut self.stats.delivered {
+            v.counter(d);
+        }
+        for ls in &mut self.stats.links {
+            for w in &mut ls.words {
+                v.counter(w);
+            }
+            for h in &mut ls.headers {
+                v.counter(h);
+            }
+        }
+        for l in &mut self.links {
+            visit_opt_word(&mut l.wire, v);
+        }
+        for h in &mut self.ni_links {
+            visit_opt_word(&mut h.outgoing, v);
+            v.exact(h.incoming.len() as u64);
+            for i in 0..h.incoming.len() {
+                visit_word(h.incoming.get_mut(i).expect("index in range"), v);
+            }
+            v.exact(u64::from(h.credits));
+        }
+        v.exact(self.dirty_out.len() as u64);
+        v.exact(self.dirty_in.len() as u64);
+        for b in &mut self.boundaries {
+            visit_opt_word(&mut b.out_word, v);
+            v.exact(u64::from(b.out_credits));
+            v.exact(u64::from(b.out_dirty));
+            visit_opt_word(&mut b.in_word, v);
+            v.exact(u64::from(b.in_credits));
+            v.exact(u64::from(b.in_dirty));
+            for w in &mut b.stats.words {
+                v.counter(w);
+            }
+            for hd in &mut b.stats.headers {
+                v.counter(hd);
+            }
+        }
+        for r in &mut self.routers {
+            r.ff_visit(v);
+        }
+    }
+
     /// The earliest due cycle across every router's GT calendar (`u64::MAX`
     /// when all calendars are empty).
     pub fn next_gt_due(&self) -> u64 {

@@ -246,6 +246,64 @@ impl Router {
         due
     }
 
+    /// Whether the router carries no best-effort state at all: empty BE
+    /// queues, no BE worm in flight on any input or output. One of the
+    /// structural pre-gates of the analytical fast-forward backend (BE
+    /// arbitration depends on cross-stream timing, which the periodic
+    /// certification does not model).
+    pub fn be_quiet(&self) -> bool {
+        self.be_q.iter().all(Ring::is_empty)
+            && self.be_route.iter().all(Option::is_none)
+            && self.be_owner.iter().all(Option::is_none)
+    }
+
+    /// Walks the router's complete wire-visible state through the
+    /// fast-forward classification (see [`crate::ff`]): worm-tracking and
+    /// credit state as exact control items, calendar due cycles as sliding
+    /// stamps, in-flight words via [`ff::visit_word`](crate::ff::visit_word),
+    /// violation counters as periodic counters.
+    pub fn ff_visit(&mut self, v: &mut dyn crate::ff::FfVisit) {
+        use crate::ff::{visit_opt_word, visit_word};
+        for q in &mut self.be_q {
+            v.exact(q.len() as u64);
+            for i in 0..q.len() {
+                visit_word(q.get_mut(i).expect("index in range"), v);
+            }
+        }
+        for r in &self.be_route {
+            v.exact(r.map_or(0, |p| p as u64 + 1));
+        }
+        for r in &self.gt_route {
+            v.exact(r.map_or(0, |p| p as u64 + 1));
+        }
+        for h in &mut self.gt_hold {
+            visit_opt_word(h, v);
+        }
+        for p in &self.gt_pad {
+            v.exact(*p);
+        }
+        for cal in &mut self.gt_cal {
+            v.exact(cal.len() as u64);
+            for i in 0..cal.len() {
+                let ev = cal.get_mut(i).expect("index in range");
+                v.stamp(&mut ev.due);
+                visit_word(&mut ev.word, v);
+            }
+        }
+        for o in &self.be_owner {
+            v.exact(o.map_or(0, |p| p as u64 + 1));
+        }
+        for r in &self.rr {
+            v.exact(*r as u64);
+        }
+        for c in &self.out_credits {
+            v.exact(u64::from(*c));
+        }
+        v.counter(&mut self.gt_conflicts);
+        v.counter(&mut self.be_overflows);
+        v.counter(&mut self.gt_orphans);
+    }
+
     /// Installs the next route segment of a continuation word into a held
     /// exhausted header: the rewritten header keeps the held word's upper
     /// (credits/flush/qid) bits, takes its first hop from the continuation

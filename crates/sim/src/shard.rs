@@ -421,6 +421,22 @@ pub trait ShardRegion: Clocked + Send {
 
     /// Mutable access to the region's network.
     fn shard_noc_mut(&mut self) -> &mut Noc;
+
+    /// Offers the region up to `max` cycles of analytical fast-forward
+    /// (see [`crate::ff`]). Called by [`ShardRunner::run`] only while this
+    /// region is the *sole* awake region and every sleeper's wake horizon
+    /// lies beyond the offered window, so nothing can interact with it.
+    /// The implementor owns all eligibility checking — in particular it
+    /// must decline unless its boundaries are silent and every live
+    /// circuit stays inside the region, because the probe ticks the
+    /// region alone, outside the runner's boundary exchange.
+    ///
+    /// The default declines: plain network shards fall back to the
+    /// quiescent-skip path, which already covers their drained states.
+    fn fast_forward_region(&mut self, max: u64) -> crate::ff::FfOutcome {
+        let _ = max;
+        crate::ff::FfOutcome::DECLINED
+    }
 }
 
 impl ShardRegion for Noc {
@@ -762,6 +778,9 @@ pub struct ShardRunner {
     cycle: u64,
     awake: Vec<bool>,
     wake_at: Vec<u64>,
+    /// Next cycle at which a declined region fast-forward may be retried
+    /// (declines scan the region's state; see [`crate::ff::FF_COOLDOWN`]).
+    ff_cooldown_until: u64,
 }
 
 impl ShardRunner {
@@ -789,6 +808,7 @@ impl ShardRunner {
             cycle: start_cycle,
             awake: vec![true; regions],
             wake_at: vec![0; regions],
+            ff_cooldown_until: 0,
         }
     }
 
@@ -878,6 +898,37 @@ impl ShardRunner {
                 self.cycle = next.clamp(t0 + 1, end);
                 continue;
             }
+            // Sole-awake fast-forward: with exactly one region in the
+            // activity set, nothing can reach it before the earliest
+            // sleeper horizon (sleepers are quiescent — their first
+            // possible action is their own wake) — so the whole gap is
+            // offered to the region's analytical fast-forward backend.
+            // A decline is rate-limited; a partial advance (probe ticks
+            // without a certified jump) still moves global time.
+            if self.awake.iter().filter(|&&a| a).count() == 1 && t0 >= self.ff_cooldown_until {
+                let r = self.awake.iter().position(|&a| a).expect("one awake");
+                let gap_end = self
+                    .wake_at
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, _)| !self.awake[s])
+                    .map(|(_, &w)| w)
+                    .min()
+                    .unwrap_or(end)
+                    .min(end);
+                if gap_end > t0 {
+                    let out = regions[r].fast_forward_region(gap_end - t0);
+                    if out.jumped == 0 {
+                        self.ff_cooldown_until = t0 + out.advanced.max(1) * 4;
+                        self.ff_cooldown_until =
+                            self.ff_cooldown_until.max(t0 + crate::ff::FF_COOLDOWN);
+                    }
+                    if out.advanced > 0 {
+                        self.cycle = t0 + out.advanced;
+                        continue;
+                    }
+                }
+            }
             // One epoch: up to `batch` cycles of emit → exchange → absorb,
             // with scheduling work deferred to the epoch boundary.
             let t1 = end.min(t0 + self.batch);
@@ -956,6 +1007,13 @@ impl ShardRunner {
     /// generation. One spin-then-yield epoch barrier per
     /// [`batch`](ShardRunner::set_batch) re-aligns the workers, bounding
     /// how far any region (and any mailbox) can run ahead.
+    ///
+    /// The worker protocol never offers
+    /// [`fast_forward_region`](ShardRegion::fast_forward_region): its
+    /// sole-awake precondition is a global property the decoupled workers
+    /// cannot observe cheaply. A workload periodic enough to fast-forward
+    /// is single-region-active by definition — run it through
+    /// [`ShardRunner::run`], where the offer is made.
     ///
     /// # Panics
     ///

@@ -13,6 +13,11 @@
 //! * `Vec::new` / `Box::new` / `vec![` inside `tick` / `emit` / `absorb`
 //!   function bodies are flagged — the hot per-cycle paths are
 //!   allocation-free by design (see `crates/facade/tests/zero_alloc.rs`).
+//! * `.tick()` inside a loop is forbidden in library code outside the two
+//!   sanctioned drivers (`sim/src/engine.rs`, `sim/src/shard.rs`) — a
+//!   hand-rolled cycle loop silently bypasses the engine's quiescent skip
+//!   and the fast-forward backend; advance time through `Engine::run` /
+//!   the shard runner instead.
 //! * every crate root must carry `#![forbid(unsafe_code)]`.
 //!
 //! The scanner is line-based with a small brace-tracking state machine —
@@ -36,6 +41,21 @@ const UNWRAP: &str = concat!(".unwrap", "()");
 
 /// Hot per-cycle entry points that must stay allocation-free.
 const HOT_FNS: &[&str] = &["tick", "emit", "absorb"];
+
+/// Assembled at compile time so the scanner never matches its own source.
+const TICK_CALL: &str = concat!(".tick", "()");
+
+/// The only library files allowed to advance cycles in a loop: the engine
+/// (quiescent skip + fast-forward) and the shard runner built on it, plus
+/// the two configuration-transaction polls whose exit predicate *consumes*
+/// a response mid-loop (`Engine::run_until` predicates are read-only, so
+/// they cannot express a take-and-check poll).
+const CYCLE_LOOP_FILES: &[&str] = &[
+    "sim/src/engine.rs",
+    "sim/src/shard.rs",
+    "cfg/src/runtime.rs",
+    "cfg/src/inspect.rs",
+];
 
 struct Finding {
     file: PathBuf,
@@ -165,6 +185,12 @@ fn scan_file(krate: &str, file: &Path, text: &str, findings: &mut Vec<Finding>) 
     let mut pending_cfg_test = false;
     // Ditto for the body of a hot-path fn, with its name.
     let mut hot_fn: Option<(i32, &'static str)> = None;
+    // Brace depth at which the outermost loop opened, for the cycle-loop
+    // rule.
+    let mut loop_at: Option<i32> = None;
+    let may_cycle_loop = CYCLE_LOOP_FILES
+        .iter()
+        .any(|allowed| file.ends_with(allowed));
     for (idx, raw) in text.lines().enumerate() {
         let line = strip_comment(raw);
         let trimmed = line.trim();
@@ -205,7 +231,28 @@ fn scan_file(krate: &str, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                         }
                     }
                 }
-            } else if let Some((_, name)) = hot_fn {
+            }
+            if !may_cycle_loop && loop_at.is_some() && line.contains(TICK_CALL) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "no-cycle-loop",
+                    detail: format!(
+                        "{TICK_CALL} inside a loop: advance time through \
+                         Engine::run (quiescent skip + fast-forward), not a \
+                         hand-rolled cycle loop"
+                    ),
+                });
+            }
+            if loop_at.is_none()
+                && ((line.contains("for ") && line.contains(" in "))
+                    || trimmed.starts_with("while ")
+                    || line.contains("while ")
+                    || line.contains("loop {"))
+            {
+                loop_at = Some(depth);
+            }
+            if let Some((_, name)) = hot_fn {
                 for pat in ["Vec::new", "Box::new", "vec!["] {
                     if line.contains(pat) {
                         findings.push(Finding {
@@ -230,6 +277,9 @@ fn scan_file(krate: &str, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                     }
                     if hot_fn.is_some_and(|(d, _)| d == depth) {
                         hot_fn = None;
+                    }
+                    if loop_at == Some(depth) {
+                        loop_at = None;
                     }
                 }
                 _ => {}
