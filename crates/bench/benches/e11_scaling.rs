@@ -7,7 +7,14 @@
 //! *simulator's* execution core, not the modeled hardware. Throughput is
 //! verified to be identical across execution modes (the parity invariant),
 //! so only wall-clock differs.
+//!
+//! Besides the human-readable tables, a worker-threads × shards × slack-
+//! batch sweep runs under the calibrated harness and lands in `BENCH_JSON`
+//! (when set), each record tagged with its parameters plus the host's
+//! `host_parallelism` and the `worker_threads` it drove — so scaling
+//! history stays comparable across differently-provisioned hosts.
 
+use aethereal_bench::harness::Criterion;
 use aethereal_bench::{
     sharded_received, sharded_stream_mesh, single_received, stream_mesh, MeshTraffic, Table,
 };
@@ -132,4 +139,68 @@ fn main() {
         mixed / alone,
         seq / alone
     );
+
+    // The recorded sweep: worker threads (1 = sequential runner, `shards`
+    // = one worker per region) × shard count × slack batch on the busy
+    // uniform 8x8 mesh, with the monolithic run as the reference record.
+    println!("\nrecorded scaling sweep (8x8 uniform, 1k cycles per iteration):");
+    let mut c = Criterion::new();
+    c.set_worker_threads(1);
+    c.bench_function("scaling_8x8_uniform_mono_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        sys.run(200);
+        b.iter(|| sys.run(1_000));
+    });
+    for &shards in &[2usize, 4] {
+        for &batch in &[1u64, 2, 16] {
+            for parallel in [false, true] {
+                let threads = if parallel { shards as u64 } else { 1 };
+                let name = format!(
+                    "scaling_8x8_uniform_shard{shards}_b{batch}_{}_1k",
+                    if parallel { "par" } else { "seq" }
+                );
+                c.set_worker_threads(threads);
+                c.bench_with_params(
+                    &name,
+                    &[
+                        ("shards", shards as u64),
+                        ("batch", batch),
+                        ("threads", threads),
+                    ],
+                    |b| {
+                        let (mut sharded, _) =
+                            sharded_stream_mesh(8, 8, MeshTraffic::Uniform, shards);
+                        sharded.set_batch(batch);
+                        sharded.run(200);
+                        if parallel {
+                            b.iter(|| sharded.run_parallel(1_000));
+                        } else {
+                            b.iter(|| sharded.run(1_000));
+                        }
+                    },
+                );
+            }
+        }
+    }
+    if let Some(mono) = c.median_of("scaling_8x8_uniform_mono_1k") {
+        for (name, bench) in [
+            (
+                "scaling_seq_overhead_shard2_b16",
+                "scaling_8x8_uniform_shard2_b16_seq_1k",
+            ),
+            (
+                "scaling_par_speedup_shard2_b16",
+                "scaling_8x8_uniform_shard2_b16_par_1k",
+            ),
+            (
+                "scaling_par_speedup_shard4_b16",
+                "scaling_8x8_uniform_shard4_b16_par_1k",
+            ),
+        ] {
+            if let Some(m) = c.median_of(bench) {
+                c.derived(name, mono / m);
+            }
+        }
+    }
+    c.finalize();
 }

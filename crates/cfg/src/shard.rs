@@ -134,8 +134,13 @@ impl ShardedSystem {
             link_maps.push(shard.link_map);
             boundary_links.push(shard.boundary_links);
         }
+        // Fuse the regions onto the runner's exchange arena: cut-wire
+        // words and credits flow through the preallocated rings in place,
+        // not through per-event dirty-list drains.
+        let runner = ShardRunner::new(n, wires, start_cycle);
+        runner.fuse(&mut regions);
         ShardedSystem {
-            runner: ShardRunner::new(n, wires, start_cycle),
+            runner,
             regions,
             routers,
             nis: ni_maps,
@@ -151,9 +156,9 @@ impl ShardedSystem {
     }
 
     /// Sets the runner's batch size `B ≥ 1` and returns `self` (builder
-    /// form): how many cycles run between scheduling epochs — activity-set
-    /// walks in both modes, plus the epoch barrier of
-    /// [`ShardedSystem::run_parallel`]. A pure performance knob: execution
+    /// form): how many cycles run between scheduling epochs — the
+    /// activity-set walks in both modes (workers pipeline freely across
+    /// epochs; there is no barrier). A pure performance knob: execution
     /// is bit-identical for every `B` (pinned by the batched parity tests).
     pub fn with_batch(mut self, batch: u64) -> Self {
         self.set_batch(batch);

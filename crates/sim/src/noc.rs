@@ -141,6 +141,11 @@ pub struct Noc {
     /// absorb — the ingress mirror of `dirty_out`: absorb registers exactly
     /// these instead of scanning every boundary.
     dirty_in: Vec<usize>,
+    /// Fused exchange handle (see [`Noc::attach_exchange`]): when present,
+    /// boundary emissions and credits go straight into the shared arena's
+    /// cut-wire rings during emit, and absorb consumes due slots straight
+    /// out of them — the dirty lists and boundary registers stay unused.
+    exchange: Option<crate::shard::ExchangeAttachment>,
     /// Construction parameters, kept so [`Noc::split`] can rebuild
     /// identically-configured shard networks.
     config: NocConfig,
@@ -277,6 +282,7 @@ impl Noc {
             boundary_at,
             dirty_out: Vec::new(),
             dirty_in: Vec::new(),
+            exchange: None,
             config,
             cycle: 0,
             stats: NocStats::new(n_links),
@@ -388,6 +394,35 @@ impl Noc {
     /// Number of boundary attachments.
     pub fn boundary_count(&self) -> usize {
         self.boundaries.len()
+    }
+
+    /// Installs a fused exchange handle: from here on, boundary emissions
+    /// and earned credits are written **in place** into the shared arena's
+    /// cut-wire rings during [`Clocked::emit`], and [`Clocked::absorb`]
+    /// consumes each inbound ring's slot at exactly its due cycle — no
+    /// dirty lists, no register copies, no per-event runner bridge (see
+    /// [`crate::shard::ShardRunner::fuse`]). Cloning a fused network
+    /// clones the handle, which **shares** the arena — split the clone's
+    /// attachment off with a fresh [`crate::shard::ShardRunner`] before
+    /// driving both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment's boundary maps do not cover exactly this
+    /// network's boundaries, or if a handle is already installed.
+    pub fn attach_exchange(&mut self, exchange: crate::shard::ExchangeAttachment) {
+        assert!(self.exchange.is_none(), "exchange already attached");
+        assert_eq!(
+            exchange.boundaries(),
+            self.boundaries.len(),
+            "attachment must map every boundary"
+        );
+        self.exchange = Some(exchange);
+    }
+
+    /// Whether a fused exchange handle is installed.
+    pub fn exchange_attached(&self) -> bool {
+        self.exchange.is_some()
     }
 
     /// Takes one dirty boundary's outbound traffic — the boundary id plus
@@ -612,6 +647,7 @@ impl Noc {
                     && b.out_credits == 0
                     && b.in_credits == 0
             })
+            && self.exchange.as_ref().is_none_or(|x| x.silent())
     }
 
     /// Follows a source route hop by hop from NI `ni`'s attachment point
@@ -678,6 +714,12 @@ impl Noc {
         }
         v.exact(self.dirty_out.len() as u64);
         v.exact(self.dirty_in.len() as u64);
+        // Arena ring occupancy on this region's wires: any in-flight cut
+        // word or credit rejects a fast-forward attempt (the jump would
+        // skip its due cycle).
+        if let Some(x) = &self.exchange {
+            v.exact(x.occupied() as u64);
+        }
         for b in &mut self.boundaries {
             visit_opt_word(&mut b.out_word, v);
             v.exact(u64::from(b.out_credits));
@@ -730,6 +772,10 @@ impl Clocked for Noc {
     fn emit(&mut self) {
         let cycle = self.cycle;
         debug_assert!(self.scratch.credit_returns.is_empty());
+        // Fused: boundary traffic goes straight into the arena rings (the
+        // handle is moved out for the phase so boundary state stays
+        // borrowable).
+        let exchange = self.exchange.take();
         // Routers.
         for r in 0..self.routers.len() {
             let mut result = std::mem::take(&mut self.scratch.emit);
@@ -739,25 +785,34 @@ impl Clocked for Noc {
                     debug_assert!(self.links[l].wire.is_none());
                     self.links[l].wire = Some(e.word);
                 } else if let Some(b) = self.boundary_at[r][e.port as usize] {
-                    debug_assert!(self.boundaries[b].out_word.is_none());
-                    self.boundaries[b].out_word = Some(e.word);
-                    Self::mark_boundary_dirty(&mut self.boundaries, &mut self.dirty_out, b);
+                    if let Some(x) = &exchange {
+                        x.out_ring(b).send_word(cycle, e.word);
+                    } else {
+                        debug_assert!(self.boundaries[b].out_word.is_none());
+                        self.boundaries[b].out_word = Some(e.word);
+                        Self::mark_boundary_dirty(&mut self.boundaries, &mut self.dirty_out, b);
+                    }
                 }
             }
             for &input in &result.be_dequeues {
                 // A dequeue at a boundary input earns its credit for the
-                // *remote* producer: export it now so the inter-phase
-                // exchange delivers it into the same cycle's absorb, exactly
-                // like the wired-link return below.
+                // *remote* producer: export it now so the exchange delivers
+                // it into the same cycle's absorb, exactly like the
+                // wired-link return below.
                 if let Some(b) = self.boundary_at[r][input as usize] {
-                    self.boundaries[b].out_credits += 1;
-                    Self::mark_boundary_dirty(&mut self.boundaries, &mut self.dirty_out, b);
+                    if let Some(x) = &exchange {
+                        x.out_ring(b).send_credits(cycle, 1);
+                    } else {
+                        self.boundaries[b].out_credits += 1;
+                        Self::mark_boundary_dirty(&mut self.boundaries, &mut self.dirty_out, b);
+                    }
                 } else {
                     self.scratch.credit_returns.push((r, input));
                 }
             }
             self.scratch.emit = result;
         }
+        self.exchange = exchange;
         // NIs.
         for (ni, handle) in self.ni_links.iter_mut().enumerate() {
             if let Some(word) = handle.outgoing.take() {
@@ -789,6 +844,27 @@ impl Clocked for Noc {
                 self.routers[r].add_out_credit(p);
             }
         }
+        // Fused boundary ingress: consume each inbound ring's slot at
+        // exactly this cycle, straight out of the arena. Per-output GT
+        // calendars make the iteration order across boundaries immaterial,
+        // like the wired-link loop below.
+        let exchange = self.exchange.take();
+        if let Some(x) = &exchange {
+            for b in 0..self.boundaries.len() {
+                if let Some((word, credits)) = x.in_ring(b).take_due(cycle) {
+                    let bp = &mut self.boundaries[b];
+                    let (r, p) = (bp.router, bp.port);
+                    if let Some(word) = word {
+                        bp.stats.record(word.class(), word.is_header());
+                        self.routers[r].absorb(p, word, cycle);
+                    }
+                    for _ in 0..credits {
+                        self.routers[r].add_out_credit(p);
+                    }
+                }
+            }
+        }
+        self.exchange = exchange;
         for l in 0..self.links.len() {
             let Some(word) = self.links[l].wire.take() else {
                 continue;

@@ -22,37 +22,55 @@
 //! * [`Noc::split`](crate::Noc::split) — moves routers, NI handles and
 //!   per-link counters of a drained network into per-shard [`Noc`]s whose
 //!   cut ports are boundary mailboxes (see [`NocShard`]);
-//! * [`ShardRunner`] — the slack-batched driver. Each global cycle runs
-//!   emit on every *awake* region, drains the **boundary-dirty list**
-//!   (wires with no traffic this cycle cost zero exchange work), then runs
-//!   absorb; every boundary word and credit is absorbed at its **exact due
-//!   cycle**, so the cut link's one-cycle latency is never shortened or
-//!   stretched. On top of that per-cycle exchange, the runner amortizes its
-//!   *scheduling* work over [`ShardRunner::set_batch`]-sized epochs:
-//!   activity-set decisions (quiescence walks, [`Clocked::next_event`]
-//!   horizons) run once per epoch instead of once per cycle, and
-//!   [`ShardRunner::run_parallel`] replaces the two per-cycle global
-//!   barrier waits of the first generation with per-wire published-cycle
-//!   watermarks over cycle-stamped [`Mailbox`] queues plus **one**
-//!   spin-then-yield epoch barrier per batch. Regions that report
-//!   themselves quiescent leave the activity set and sleep until their
-//!   [`Clocked::next_event`] horizon — which now includes the next due
+//! * [`ShardRunner`] — the slack-batched driver over the **arena-fused
+//!   exchange**: every directed cut wire owns one preallocated,
+//!   cache-line-padded SPSC [`WireRing`] in a shared [`BoundaryArena`].
+//!   A fused region's emit phase writes boundary words and credits
+//!   directly into the ring slot of the emitting cycle, and the consuming
+//!   region's absorb phase consumes each slot at **exactly** its due
+//!   cycle — zero allocation, zero copying through intermediate queues,
+//!   and the cut link's one-cycle latency is never shortened or
+//!   stretched. The runner amortizes its *scheduling* work over
+//!   [`ShardRunner::set_batch`]-sized epochs: activity-set decisions
+//!   (quiescence walks, [`Clocked::next_event`] horizons) run once per
+//!   epoch instead of once per cycle. [`ShardRunner::run_parallel`] is
+//!   **pipelined**: there is no epoch barrier at all — a worker is gated
+//!   only by the per-wire published-cycle watermarks of its inbound
+//!   rings, so it begins epoch N+1's interior cycles while epoch N's cut
+//!   words are still draining on the neighbour's side. Regions that
+//!   report themselves quiescent leave the activity set and sleep until
+//!   their [`Clocked::next_event`] horizon — which includes the next due
 //!   cycle of a pending router GT calendar — or until a boundary
 //!   word/credit arrives for them, at which point they are caught up with
 //!   one exact [`Clocked::skip`].
 //!
+//! # Why the watermark dependency suffices
+//!
+//! Consumer cycle `t` needs exactly the producer's emit of cycle `t`
+//! (the cut link registers a word in the same cycle's absorb). Each cut
+//! edge yields a wire in *both* directions, so two adjacent regions gate
+//! each other symmetrically: a region emitting cycle `t` has already
+//! waited for every inbound watermark to pass `t − 1`, which bounds the
+//! skew between wire-adjacent regions to one cycle — at most the slot of
+//! cycle `t − 1` (not yet consumed) and the slot of cycle `t` (being
+//! written) are in flight on any wire, which is why the tiny
+//! power-of-two ring of [`RING_SLOTS`] slots never overruns (asserted,
+//! and model-checked in `testkit`). Non-adjacent regions may drift a
+//! whole batch apart; they share no wire, so nothing observes the drift.
+//!
 //! A sharded run is **bit-identical** to ticking the unsplit fabric — for
-//! any batch size, in both execution modes: the batch amortizes barriers
-//! and bookkeeping, never the data exchange. The per-shard statistics
-//! merge back onto the global link numbering via [`merge_noc_stats`],
-//! pinned by the parity tests here and in the facade crate.
+//! any batch size, in both execution modes: batching and pipelining
+//! amortize scheduling and synchronization, never the data exchange. The
+//! per-shard statistics merge back onto the global link numbering via
+//! [`merge_noc_stats`], pinned by the parity tests here and in the facade
+//! crate.
 
 use crate::engine::Clocked;
 use crate::link::LinkId;
 use crate::noc::Noc;
 use crate::path::PortIdx;
 use crate::stats::NocStats;
-use crate::sync::{AtomicU64Cell, AtomicUsizeCell, MutexCell, Ordering, StdSync, SyncFamily};
+use crate::sync::{AtomicU64Cell, Ordering, StdSync, SyncFamily};
 use crate::topology::{NiId, RouterId, Topology};
 use crate::word::LinkWord;
 
@@ -449,206 +467,372 @@ impl ShardRegion for Noc {
     }
 }
 
-/// One cycle-stamped entry of a boundary [`Mailbox`]: the traffic a cut
-/// wire carries in one specific cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StampedBoundary {
-    /// The cycle whose absorb phase must register this entry.
-    pub due: u64,
-    /// The word on the wire, if any.
-    pub word: Option<LinkWord>,
-    /// Link-level BE credits earned for the wire's producer.
-    pub credits: u32,
-}
-
-/// A cycle-stamped boundary mailbox: the transport of one directed
-/// cross-shard wire when producer and consumer are temporally decoupled
-/// (the worker-thread runner, where a region may run up to a whole batch
-/// ahead of a peer).
+/// Slots per [`WireRing`]. A power of two (the ring indexes with a mask).
 ///
-/// Entries are pushed in stamp order by the producing region's emit phase
-/// and taken by the consuming region's absorb phase at **exactly** their
-/// due cycle: [`Mailbox::take_due`] never returns an entry early, and
-/// panics if an entry was missed — together the two directions of the
-/// never-absorb-off-schedule property that makes batched execution
-/// bit-identical to lockstep.
-#[derive(Debug, Clone, Default)]
-pub struct Mailbox {
-    queue: std::collections::VecDeque<StampedBoundary>,
+/// Two is the proven in-flight maximum — wire pairs bound the skew of
+/// adjacent regions to one cycle, so at most the previous cycle's slot
+/// (unconsumed) and the current cycle's slot (being written) coexist —
+/// four leaves one asserted-empty guard slot on either side.
+pub const RING_SLOTS: usize = 4;
+
+/// The packed-word encoding of an empty slot (see
+/// [`LinkWord::pack_u64`]).
+const EMPTY_WORD: u64 = 0;
+
+/// Pads (and aligns) a value to two cache lines, so neighbouring wires'
+/// hot atomics never share a line (128 bytes also defeats adjacent-line
+/// prefetching on common cores).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T>(pub T);
+
+/// One slot of a [`WireRing`]: the traffic one cut wire carries in one
+/// specific cycle, held in place in three atomic cells. `stamp` is the
+/// due cycle plus one (`0` = empty); `word` is the packed [`LinkWord`]
+/// or [`EMPTY_WORD`]; `credits` counts link-level BE credits earned for
+/// the wire's producer.
+struct WireSlot<S: SyncFamily> {
+    stamp: S::AtomicU64,
+    word: S::AtomicU64,
+    credits: S::AtomicU64,
 }
 
-impl Mailbox {
-    /// Creates an empty mailbox.
-    pub fn new() -> Self {
-        Mailbox::default()
-    }
-
-    /// Queues the traffic a wire carries in cycle `due`. Stamps must be
-    /// pushed in strictly increasing order (a wire carries at most one word
-    /// and one credit bundle per cycle).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `due` does not exceed the newest queued stamp.
-    pub fn push(&mut self, due: u64, word: Option<LinkWord>, credits: u32) {
-        assert!(
-            self.queue.back().is_none_or(|e| e.due < due),
-            "mailbox stamps must increase (one entry per wire per cycle)"
-        );
-        self.queue.push_back(StampedBoundary { due, word, credits });
-    }
-
-    /// The stamp of the oldest queued entry.
-    pub fn next_due(&self) -> Option<u64> {
-        self.queue.front().map(|e| e.due)
-    }
-
-    /// Number of queued entries.
-    pub fn len(&self) -> usize {
-        self.queue.len()
-    }
-
-    /// Whether no entry is queued.
-    pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
-    }
-
-    /// Takes the entry due in exactly `cycle`, if any. An entry with a
-    /// later stamp is left queued — a word is **never** absorbed before its
-    /// due cycle, no matter how far ahead the producer ran.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an entry with an *earlier* stamp is still queued: the
-    /// consumer skipped a cycle in which the wire carried traffic.
-    pub fn take_due(&mut self, cycle: u64) -> Option<(Option<LinkWord>, u32)> {
-        let front = self.queue.front()?;
-        assert!(
-            front.due >= cycle,
-            "mailbox entry due {} was missed (absorb at {})",
-            front.due,
-            cycle
-        );
-        if front.due > cycle {
-            return None;
-        }
-        let e = self.queue.pop_front().expect("front checked");
-        Some((e.word, e.credits))
-    }
-}
-
-/// A reusable spin-then-yield barrier: the epoch synchronization point of
-/// [`ShardRunner::run_parallel`]. Arrivals spin briefly on the generation
-/// counter before yielding, so the short-epoch case never pays a futex
-/// round trip.
-///
-/// Generic over the [`SyncFamily`] shim so the `testkit::mc` model checker
-/// can explore this exact code on instrumented cells; production uses the
-/// zero-cost [`StdSync`] default.
-pub struct SpinBarrier<S: SyncFamily = StdSync> {
-    n: usize,
-    arrived: S::AtomicUsize,
-    generation: S::AtomicU64,
-}
-
-impl<S: SyncFamily> std::fmt::Debug for SpinBarrier<S> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SpinBarrier").field("n", &self.n).finish()
-    }
-}
-
-impl<S: SyncFamily> SpinBarrier<S> {
-    /// Creates a barrier for `n` participants.
-    pub fn new(n: usize) -> Self {
-        SpinBarrier {
-            n,
-            arrived: S::AtomicUsize::new(0),
-            generation: S::AtomicU64::new(0),
-        }
-    }
-
-    /// Blocks until all `n` participants have arrived. The last arrival
-    /// resets the count *before* releasing the generation bump, so the
-    /// barrier is immediately reusable.
-    pub fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            self.arrived.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-        } else {
-            S::spin_until(|| self.generation.load(Ordering::Acquire) != gen);
+impl<S: SyncFamily> WireSlot<S> {
+    fn new() -> Self {
+        WireSlot {
+            stamp: S::AtomicU64::new(0),
+            word: S::AtomicU64::new(EMPTY_WORD),
+            credits: S::AtomicU64::new(0),
         }
     }
 }
 
-/// One directed wire's shared state in the worker-thread runner: the
-/// stamped mailbox plus the producer's published-cycle watermark. The
-/// watermark (`published` = first cycle *not* yet final) is what lets the
-/// consumer absorb cycle `t` without a global barrier: once the producer
-/// publishes past `t`, no further entry stamped ≤ `t` can appear.
+/// One directed cut wire's preallocated SPSC exchange ring: the producer
+/// region's emit phase writes words and credits **in place** into the
+/// slot of the emitting cycle, and the consumer region's absorb phase
+/// consumes the slot at exactly its due cycle — no allocation, no queue,
+/// no copy in between.
 ///
-/// Generic over the [`SyncFamily`] shim — see [`SpinBarrier`].
-pub struct WireChannel<S: SyncFamily = StdSync> {
+/// The `published` watermark (first cycle *not* yet final) is the only
+/// cross-region gate: once the producer publishes past `t`, no further
+/// write stamped ≤ `t` can appear, so the consumer may absorb cycle `t`
+/// — and, transitively, start later cycles — without any global barrier.
+/// Slot cells are written with release ordering — a plain store on x86,
+/// so this costs nothing on the target — making every slot write's
+/// visibility self-contained rather than carried solely by the
+/// subsequent watermark publish. The release-publish / acquire-wait pair
+/// still carries the cross-region happens-before edge (the consumer's
+/// slot clears travel back to the producer over the paired reverse
+/// wire's watermark the same way), and it also keeps the model checker's
+/// exploration tractable: release-class stores commit eagerly, so slot
+/// writes add no delayed-store nondeterminism.
+///
+/// Generic over the [`SyncFamily`] shim so the `testkit::mc` model
+/// checker explores this exact protocol on instrumented cells;
+/// production uses the zero-cost [`StdSync`] default.
+pub struct WireRing<S: SyncFamily = StdSync> {
     /// First cycle whose boundary traffic is not yet final.
     published: S::AtomicU64,
-    mailbox: S::Mutex<Mailbox>,
+    slots: [WireSlot<S>; RING_SLOTS],
 }
 
-impl<S: SyncFamily> std::fmt::Debug for WireChannel<S> {
+impl<S: SyncFamily> std::fmt::Debug for WireRing<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WireChannel")
+        f.debug_struct("WireRing")
             .field("published", &self.published.load(Ordering::Relaxed))
             .finish()
     }
 }
 
-impl<S: SyncFamily> WireChannel<S> {
-    /// Creates a wire channel whose first unpublished cycle is `start`.
+impl<S: SyncFamily> WireRing<S> {
+    /// Creates a ring whose first unpublished cycle is `start`.
     pub fn new(start: u64) -> Self {
-        WireChannel {
+        WireRing {
             published: S::AtomicU64::new(start),
-            mailbox: S::Mutex::new(Mailbox::new()),
+            slots: std::array::from_fn(|_| WireSlot::new()),
         }
     }
 
-    /// Producer: queue cycle `due`'s traffic (called before publishing it).
-    pub fn send(&self, due: u64, word: Option<LinkWord>, credits: u32) {
-        self.mailbox.with(|m| m.push(due, word, credits));
+    #[inline]
+    fn slot(&self, t: u64) -> &WireSlot<S> {
+        &self.slots[(t as usize) & (RING_SLOTS - 1)]
     }
 
-    /// Producer: mark cycle `t` final — every entry stamped ≤ `t` is queued.
+    /// Producer: claims cycle `t`'s slot (stamping it on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot still holds an unconsumed earlier cycle — the
+    /// ring overran, i.e. the watermark discipline was violated.
+    #[inline]
+    fn occupy(&self, t: u64) -> &WireSlot<S> {
+        let slot = self.slot(t);
+        let stamp = slot.stamp.load(Ordering::Relaxed);
+        if stamp != t + 1 {
+            assert_eq!(
+                stamp,
+                0,
+                "wire ring overrun: cycle {} still unconsumed while emitting cycle {t}",
+                stamp.wrapping_sub(1)
+            );
+            slot.stamp.store(t + 1, Ordering::Release);
+        }
+        slot
+    }
+
+    /// Producer: places the word cycle `t` carries (at most one per
+    /// cycle) into the ring, in place.
+    pub fn send_word(&self, t: u64, word: LinkWord) {
+        let slot = self.occupy(t);
+        debug_assert_eq!(
+            slot.word.load(Ordering::Relaxed),
+            EMPTY_WORD,
+            "one word per wire per cycle"
+        );
+        slot.word.store(word.pack_u64(), Ordering::Release);
+    }
+
+    /// Producer: adds link-level BE credits to cycle `t`'s slot.
+    pub fn send_credits(&self, t: u64, credits: u32) {
+        let slot = self.occupy(t);
+        let cur = slot.credits.load(Ordering::Relaxed);
+        slot.credits
+            .store(cur + u64::from(credits), Ordering::Release);
+    }
+
+    /// Producer: marks cycle `t` final — every write stamped ≤ `t` is in
+    /// the ring. The release store pairs with [`WireRing::wait_published`].
     pub fn publish(&self, t: u64) {
         self.published.store(t + 1, Ordering::Release);
     }
 
-    /// Consumer: spin-then-yield until cycle `t` is final.
+    /// Consumer: blocks (spin-then-yield under [`StdSync`]) until cycle
+    /// `t` is final.
     pub fn wait_published(&self, t: u64) {
         S::spin_until(|| self.published.load(Ordering::Acquire) > t);
     }
 
-    /// Consumer: whether an entry is due at or before `t` (call only after
-    /// [`WireChannel::wait_published`]).
+    /// Consumer: whether the wire carries traffic due exactly at `t`
+    /// (call only after [`WireRing::wait_published`]).
     pub fn has_due(&self, t: u64) -> bool {
-        self.mailbox.with(|m| m.next_due()).is_some_and(|d| d <= t)
+        self.slot(t).stamp.load(Ordering::Relaxed) == t + 1
     }
 
-    /// Consumer: take cycle `t`'s entry, if the wire carried traffic then.
+    /// The earliest pending due cycle at or after `from`, scanning all
+    /// slots (the cooperative-wake probe of [`ShardRunner::wake`]).
+    pub fn next_due(&self, from: u64) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s.stamp.load(Ordering::Relaxed) {
+                0 => None,
+                stamp => Some(stamp - 1),
+            })
+            .filter(|&due| due >= from)
+            .min()
+    }
+
+    /// Consumer: consumes cycle `t`'s traffic, if the wire carried any
+    /// then, clearing the slot for reuse. A slot with a later stamp lives
+    /// in a different ring position, so traffic is **never** surfaced
+    /// before its due cycle, no matter how far ahead the producer ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot holds an *earlier* stamp: the consumer skipped
+    /// a cycle in which the wire carried traffic.
     pub fn take_due(&self, t: u64) -> Option<(Option<LinkWord>, u32)> {
-        self.mailbox.with(|m| m.take_due(t))
+        let slot = self.slot(t);
+        let stamp = slot.stamp.load(Ordering::Relaxed);
+        if stamp == 0 {
+            return None;
+        }
+        assert_eq!(
+            stamp,
+            t + 1,
+            "wire slot due {} was missed (absorb at {t})",
+            stamp.wrapping_sub(1)
+        );
+        let word = LinkWord::unpack_u64(slot.word.load(Ordering::Relaxed));
+        let credits = slot.credits.load(Ordering::Relaxed) as u32;
+        slot.word.store(EMPTY_WORD, Ordering::Release);
+        slot.credits.store(0, Ordering::Release);
+        slot.stamp.store(0, Ordering::Release);
+        Some((word, credits))
+    }
+
+    /// Whether no slot holds unconsumed traffic (any due cycle).
+    pub fn is_silent(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| s.stamp.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Occupied slots (unconsumed due cycles) — fast-forward audit state.
+    pub fn occupied(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.stamp.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    /// Resets the watermark to first-unpublished = `start` without
+    /// touching slots. [`ShardRunner::run_parallel`] rebases every ring at
+    /// entry: watermarks are meaningless between parallel spans (the
+    /// sequential runner and fast-forward jumps never advance them).
+    pub fn rebase(&self, start: u64) {
+        self.published.store(start, Ordering::Relaxed);
+    }
+}
+
+/// The preallocated exchange arena of one split: one cache-line-padded
+/// [`WireRing`] per directed cut wire, indexed like the
+/// [`wires_of`]-enumerated wire table. Shared (via `Arc`) between the
+/// [`ShardRunner`] and every fused region's network, which reads and
+/// writes its rings in place from the engine phases themselves.
+pub struct BoundaryArena {
+    rings: Vec<CachePadded<WireRing>>,
+}
+
+impl std::fmt::Debug for BoundaryArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundaryArena")
+            .field("wires", &self.rings.len())
+            .finish()
+    }
+}
+
+impl BoundaryArena {
+    /// Creates an arena of `wires` rings starting at cycle `start`.
+    pub fn new(wires: usize, start: u64) -> Self {
+        BoundaryArena {
+            rings: (0..wires)
+                .map(|_| CachePadded(WireRing::new(start)))
+                .collect(),
+        }
+    }
+
+    /// The ring of wire `i`.
+    #[inline]
+    pub fn ring(&self, i: usize) -> &WireRing {
+        &self.rings[i].0
+    }
+
+    /// All rings, in wire order.
+    pub fn rings(&self) -> &[CachePadded<WireRing>] {
+        &self.rings
+    }
+
+    /// Number of wires.
+    pub fn len(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Whether the arena has no wires.
+    pub fn is_empty(&self) -> bool {
+        self.rings.is_empty()
+    }
+
+    /// Rebases every ring's watermark (see [`WireRing::rebase`]).
+    pub fn rebase(&self, start: u64) {
+        for r in &self.rings {
+            r.0.rebase(start);
+        }
+    }
+}
+
+/// A fused region's handle onto the shared [`BoundaryArena`]: the arena
+/// plus this region's boundary-id → wire-index maps. With the attachment
+/// installed (see [`crate::Noc::attach_exchange`]), the network's emit
+/// phase writes cut-wire words and credits straight into the arena and
+/// its absorb phase consumes due slots straight out of it — the
+/// region-pair-fused exchange path, used identically by the sequential
+/// and the worker-thread runner.
+#[derive(Debug, Clone)]
+pub struct ExchangeAttachment {
+    arena: std::sync::Arc<BoundaryArena>,
+    /// `out_wire[boundary]` = wire this boundary produces onto.
+    out_wire: Vec<usize>,
+    /// `in_wire[boundary]` = wire this boundary consumes from.
+    in_wire: Vec<usize>,
+}
+
+impl ExchangeAttachment {
+    /// Creates the attachment for one region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wire index is out of the arena's range.
+    pub fn new(
+        arena: std::sync::Arc<BoundaryArena>,
+        out_wire: Vec<usize>,
+        in_wire: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            out_wire.len(),
+            in_wire.len(),
+            "every boundary has one wire per direction"
+        );
+        assert!(
+            out_wire
+                .iter()
+                .chain(in_wire.iter())
+                .all(|&i| i < arena.len()),
+            "wire index out of arena range"
+        );
+        ExchangeAttachment {
+            arena,
+            out_wire,
+            in_wire,
+        }
+    }
+
+    /// Number of boundaries the maps cover.
+    pub fn boundaries(&self) -> usize {
+        self.out_wire.len()
+    }
+
+    /// The ring boundary `b` produces onto.
+    #[inline]
+    pub fn out_ring(&self, b: usize) -> &WireRing {
+        self.arena.ring(self.out_wire[b])
+    }
+
+    /// The ring boundary `b` consumes from.
+    #[inline]
+    pub fn in_ring(&self, b: usize) -> &WireRing {
+        self.arena.ring(self.in_wire[b])
+    }
+
+    /// Whether every wire this region touches is silent in both
+    /// directions (the fast-forward boundary gate).
+    pub fn silent(&self) -> bool {
+        self.out_wire
+            .iter()
+            .chain(self.in_wire.iter())
+            .all(|&i| self.arena.ring(i).is_silent())
+    }
+
+    /// Total occupied slots across this region's wires (audit state for
+    /// [`crate::Noc::ff_visit`]).
+    pub fn occupied(&self) -> usize {
+        self.out_wire
+            .iter()
+            .chain(self.in_wire.iter())
+            .map(|&i| self.arena.ring(i).occupied())
+            .sum()
     }
 }
 
 /// One worker's view of the shared exchange state in
-/// [`ShardRunner::run_parallel`]: the epoch barrier, every wire's channel,
-/// and this region's inbound/outbound wire lists.
+/// [`ShardRunner::run_parallel`]: every wire's ring and this region's
+/// inbound/outbound wire lists. There is no barrier — the per-wire
+/// published-cycle watermarks are the only cross-worker gate.
 ///
 /// Public (with [`run_worker`]) so the model checker drives the *same*
 /// protocol code the production runner executes, not a re-implementation.
 pub struct ExchangeSlice<'a, S: SyncFamily = StdSync> {
-    /// The epoch barrier shared by all workers.
-    pub barrier: &'a SpinBarrier<S>,
-    /// Per-wire channels, indexed like `wires`.
-    pub channels: &'a [WireChannel<S>],
+    /// Per-wire exchange rings, indexed like `wires`.
+    pub rings: &'a [CachePadded<WireRing<S>>],
     /// The cross-shard wire table (for destination boundary lookups).
     pub wires: &'a [BoundaryWire],
     /// Wire indices this region produces onto.
@@ -660,13 +844,27 @@ pub struct ExchangeSlice<'a, S: SyncFamily = StdSync> {
 }
 
 /// One worker thread's body in [`ShardRunner::run_parallel`]: runs `region`
-/// from cycle `start` to `end` in `batch`-cycle epochs, exchanging boundary
-/// traffic through the stamped mailboxes and published-cycle watermarks of
-/// `slice` and re-aligning with its peers at the epoch barrier. Returns the
+/// from cycle `start` to `end`, exchanging boundary traffic through the
+/// arena rings and published-cycle watermarks of `slice`. Returns the
 /// region's final `(awake, wake_at)` scheduler state.
 ///
+/// There is no epoch barrier: a worker starts cycle `t` the moment every
+/// inbound wire has published past `t − 1`, so one region's interior cycles
+/// of epoch N+1 overlap another's cut-word drain of epoch N. Sleep
+/// decisions are re-evaluated every `batch` cycles, purely locally. The
+/// watermark dependency chain bounds wire-adjacent skew to one cycle (see
+/// the module docs), which is also what keeps every [`WireRing`] within
+/// its [`RING_SLOTS`] capacity.
+///
+/// A region whose network holds an [`ExchangeAttachment`] (the fused path,
+/// installed by [`ShardRunner::fuse`]) emits cut words straight into the
+/// rings and absorbs due slots straight out of them; the worker then only
+/// publishes, waits, and runs wake checks. An unfused region is bridged
+/// through its dirty lists, word by word — the model-checker harness uses
+/// this path to drive plain [`Noc`] regions.
+///
 /// The caller must invoke this once per region, concurrently, with every
-/// worker sharing the same barrier and channel slice.
+/// worker sharing the same ring slice.
 pub fn run_worker<R: ShardRegion, S: SyncFamily>(
     region: &mut R,
     slice: &ExchangeSlice<'_, S>,
@@ -676,7 +874,8 @@ pub fn run_worker<R: ShardRegion, S: SyncFamily>(
     mut awake: bool,
     mut wake_at: u64,
 ) -> (bool, u64) {
-    let (channels, wires) = (slice.channels, slice.wires);
+    let (rings, wires) = (slice.rings, slice.wires);
+    let fused = region.shard_noc().exchange_attached();
     let mut t = start;
     while t < end {
         let t1 = end.min(t + batch);
@@ -688,40 +887,52 @@ pub fn run_worker<R: ShardRegion, S: SyncFamily>(
             }
             if awake {
                 region.emit();
-                while let Some((b, word, credits)) = region.shard_noc_mut().take_dirty_boundary() {
-                    channels[slice.my_wire[b]].send(t, word, credits);
+                if !fused {
+                    while let Some((b, word, credits)) =
+                        region.shard_noc_mut().take_dirty_boundary()
+                    {
+                        let ring = &rings[slice.my_wire[b]].0;
+                        if let Some(w) = word {
+                            ring.send_word(t, w);
+                        }
+                        if credits > 0 {
+                            ring.send_credits(t, credits);
+                        }
+                    }
                 }
             }
             // Publish cycle t on every outbound wire — also while asleep:
             // the watermark is the null message that lets consumers proceed.
             for &i in slice.out_list {
-                channels[i].publish(t);
+                rings[i].0.publish(t);
             }
             // Wait until every inbound wire is final for t.
             for &i in slice.in_list {
-                channels[i].wait_published(t);
+                rings[i].0.wait_published(t);
             }
-            if !awake && slice.in_list.iter().any(|&i| channels[i].has_due(t)) {
+            if !awake && slice.in_list.iter().any(|&i| rings[i].0.has_due(t)) {
                 let now = region.now();
                 region.skip(t - now);
                 region.emit(); // no-op: region is quiescent
                 awake = true;
             }
             if awake {
-                for &i in slice.in_list {
-                    if let Some((word, credits)) = channels[i].take_due(t) {
-                        region.shard_noc_mut().put_boundary_in(
-                            wires[i].dst_boundary,
-                            word,
-                            credits,
-                        );
+                if !fused {
+                    for &i in slice.in_list {
+                        if let Some((word, credits)) = rings[i].0.take_due(t) {
+                            region.shard_noc_mut().put_boundary_in(
+                                wires[i].dst_boundary,
+                                word,
+                                credits,
+                            );
+                        }
                     }
                 }
                 region.absorb();
             }
             t += 1;
         }
-        // Epoch boundary: sleep decision, then re-align.
+        // Epoch boundary: a purely local sleep decision — no re-alignment.
         if awake && region.quiescent() {
             let now = region.now();
             let horizon = region.next_event(now);
@@ -730,7 +941,6 @@ pub fn run_worker<R: ShardRegion, S: SyncFamily>(
                 wake_at = horizon;
             }
         }
-        slice.barrier.wait();
     }
     let now = region.now();
     if now < end {
@@ -774,6 +984,16 @@ pub struct ShardRunner {
     /// `dest[shard][boundary]` = the consuming `(shard, boundary)` of the
     /// wire fed by that outbound boundary.
     dest: Vec<Vec<(usize, usize)>>,
+    /// The shared exchange arena: one ring per wire, indexed like `wires`.
+    arena: std::sync::Arc<BoundaryArena>,
+    /// `out_w[shard]` = wire indices the shard produces onto.
+    out_w: Vec<Vec<usize>>,
+    /// `in_w[shard]` = wire indices the shard consumes from.
+    in_w: Vec<Vec<usize>>,
+    /// `wire_of[shard][boundary]` = outbound wire index of that boundary.
+    wire_of: Vec<Vec<usize>>,
+    /// `in_wire_of[shard][boundary]` = inbound wire index of that boundary.
+    in_wire_of: Vec<Vec<usize>>,
     batch: u64,
     cycle: u64,
     awake: Vec<bool>,
@@ -790,7 +1010,11 @@ impl ShardRunner {
     /// [`ShardRunner::set_batch`]).
     pub fn new(regions: usize, wires: Vec<BoundaryWire>, start_cycle: u64) -> Self {
         let mut dest: Vec<Vec<(usize, usize)>> = vec![Vec::new(); regions];
-        for w in &wires {
+        let mut out_w: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        let mut in_w: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        let mut wire_of: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        let mut in_wire_of: Vec<Vec<usize>> = vec![Vec::new(); regions];
+        for (i, w) in wires.iter().enumerate() {
             assert!(
                 w.src_shard < regions && w.dst_shard < regions,
                 "wire out of range"
@@ -800,16 +1024,62 @@ impl ShardRunner {
                 dest[w.src_shard].resize(w.src_boundary + 1, (usize::MAX, usize::MAX));
             }
             dest[w.src_shard][w.src_boundary] = (w.dst_shard, w.dst_boundary);
+            out_w[w.src_shard].push(i);
+            in_w[w.dst_shard].push(i);
+            if wire_of[w.src_shard].len() <= w.src_boundary {
+                wire_of[w.src_shard].resize(w.src_boundary + 1, usize::MAX);
+            }
+            wire_of[w.src_shard][w.src_boundary] = i;
+            if in_wire_of[w.dst_shard].len() <= w.dst_boundary {
+                in_wire_of[w.dst_shard].resize(w.dst_boundary + 1, usize::MAX);
+            }
+            in_wire_of[w.dst_shard][w.dst_boundary] = i;
         }
+        let arena = std::sync::Arc::new(BoundaryArena::new(wires.len(), start_cycle));
         ShardRunner {
             wires,
             dest,
+            arena,
+            out_w,
+            in_w,
+            wire_of,
+            in_wire_of,
             batch: 1,
             cycle: start_cycle,
             awake: vec![true; regions],
             wake_at: vec![0; regions],
             ff_cooldown_until: 0,
         }
+    }
+
+    /// Installs the runner's exchange arena into every region's network
+    /// (see [`crate::Noc::attach_exchange`]): from here on the regions'
+    /// emit/absorb phases read and write the cut-wire rings **in place**,
+    /// and the runner's per-event dirty-list bridge goes quiet — for the
+    /// sequential and the worker-thread runner alike. Call once, right
+    /// after splitting, and on **all** regions or none: a fused producer
+    /// writes rings only a fused consumer reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` does not match the runner's region count, or if
+    /// a region's boundary count disagrees with the wire table.
+    pub fn fuse<R: ShardRegion>(&self, regions: &mut [R]) {
+        assert_eq!(regions.len(), self.awake.len(), "region count mismatch");
+        for (s, region) in regions.iter_mut().enumerate() {
+            region
+                .shard_noc_mut()
+                .attach_exchange(ExchangeAttachment::new(
+                    self.arena.clone(),
+                    self.wire_of[s].clone(),
+                    self.in_wire_of[s].clone(),
+                ));
+        }
+    }
+
+    /// The shared exchange arena (one ring per cross-shard wire).
+    pub fn arena(&self) -> &std::sync::Arc<BoundaryArena> {
+        &self.arena
     }
 
     /// Sets the batch size `B ≥ 1` and returns `self` (builder form).
@@ -857,9 +1127,33 @@ impl ShardRunner {
         if self.awake[r] {
             return;
         }
-        let now = regions[r].now();
-        if now < self.cycle {
-            regions[r].skip(self.cycle - now);
+        // Cooperate with in-flight arena traffic: a cut word already
+        // sitting in one of the region's inbound rings is due at an exact
+        // cycle, and a blind skip past it would violate the
+        // never-absorb-off-schedule property. Catch up like a one-region
+        // engine instead: while quiescent, skip only to the nearest of the
+        // region's own event horizon and the earliest due cut word; run
+        // every other cycle for real (emit, then absorb — which consumes
+        // due ring slots at exactly their stamps).
+        loop {
+            let now = regions[r].now();
+            if now >= self.cycle {
+                break;
+            }
+            if regions[r].quiescent() {
+                let due = self.in_w[r]
+                    .iter()
+                    .filter_map(|&i| self.arena.ring(i).next_due(now))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let horizon = regions[r].next_event(now).min(due).min(self.cycle);
+                if horizon > now {
+                    regions[r].skip(horizon - now);
+                    continue;
+                }
+            }
+            regions[r].emit();
+            regions[r].absorb();
         }
         self.awake[r] = true;
     }
@@ -948,9 +1242,12 @@ impl ShardRunner {
                         region.emit();
                     }
                 }
-                // Exchange: drain each region's dirty boundaries; inbound
-                // traffic wakes sleeping destinations. Quiet wires are
-                // never visited.
+                // Exchange: fused regions already emitted straight into
+                // the arena rings — only sleeping destinations need a
+                // wake scan over the wires that actually carry traffic
+                // this cycle. Unfused regions are bridged through their
+                // dirty lists, word by word. Quiet wires are never
+                // visited in either path.
                 for s in 0..regions.len() {
                     while let Some((b, word, credits)) =
                         regions[s].shard_noc_mut().take_dirty_boundary()
@@ -963,6 +1260,12 @@ impl ShardRunner {
                         regions[ds]
                             .shard_noc_mut()
                             .put_boundary_in(db, word, credits);
+                    }
+                    for &i in &self.out_w[s] {
+                        let ds = self.wires[i].dst_shard;
+                        if !self.awake[ds] && self.arena.ring(i).has_due(t) {
+                            Self::wake_for_input(&mut self.awake, &mut regions[ds], ds, t);
+                        }
                     }
                 }
                 // Phase 2: absorb.
@@ -998,15 +1301,14 @@ impl ShardRunner {
     /// Runs `cycles` global cycles with one worker thread per region.
     /// Bit-identical to [`Self::run`].
     ///
-    /// Cross-shard traffic flows through cycle-stamped [`Mailbox`] queues,
-    /// one per wire, each paired with the producer's published-cycle
-    /// watermark: a worker absorbs cycle `t` as soon as every inbound
-    /// wire's producer has published past `t` — a per-wire acquire load,
-    /// spin-then-yield only when the consumer actually outruns a producer —
-    /// instead of the two global barrier waits per cycle of the first
-    /// generation. One spin-then-yield epoch barrier per
-    /// [`batch`](ShardRunner::set_batch) re-aligns the workers, bounding
-    /// how far any region (and any mailbox) can run ahead.
+    /// Cross-shard traffic flows through the arena's [`WireRing`]s, one
+    /// per wire, each carrying the producer's published-cycle watermark: a
+    /// worker absorbs cycle `t` as soon as every inbound wire's producer
+    /// has published past `t` — a per-wire acquire load, spin-then-yield
+    /// only when the consumer actually outruns a producer. There is **no
+    /// epoch barrier**: workers pipeline freely into the next epoch while
+    /// peers still drain the last one, bounded only by the wire-adjacency
+    /// skew the watermarks themselves enforce (see the module docs).
     ///
     /// The worker protocol never offers
     /// [`fast_forward_region`](ShardRegion::fast_forward_region): its
@@ -1026,33 +1328,21 @@ impl ShardRunner {
         }
         let start = self.cycle;
         let end = start + cycles;
-        let channels: Vec<WireChannel> =
-            self.wires.iter().map(|_| WireChannel::new(start)).collect();
-        let barrier = SpinBarrier::new(n);
-        let mut out_w: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut in_w: Vec<Vec<usize>> = vec![Vec::new(); n];
-        // `wire_of[region][boundary]` = outbound wire index of that boundary.
-        let mut wire_of: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, w) in self.wires.iter().enumerate() {
-            out_w[w.src_shard].push(i);
-            in_w[w.dst_shard].push(i);
-            if wire_of[w.src_shard].len() <= w.src_boundary {
-                wire_of[w.src_shard].resize(w.src_boundary + 1, usize::MAX);
-            }
-            wire_of[w.src_shard][w.src_boundary] = i;
-        }
+        // Watermarks are meaningless between spans (the sequential runner
+        // never advances them); slots carry over untouched — in-flight
+        // traffic stays in-flight across the mode switch.
+        self.arena.rebase(start);
         let batch = self.batch;
         let states: Vec<(bool, u64)> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n);
                 for (r, region) in regions.iter_mut().enumerate() {
                     let slice = ExchangeSlice {
-                        barrier: &barrier,
-                        channels: &channels,
+                        rings: self.arena.rings(),
                         wires: &self.wires,
-                        out_list: &out_w[r],
-                        in_list: &in_w[r],
-                        my_wire: &wire_of[r],
+                        out_list: &self.out_w[r],
+                        in_list: &self.in_w[r],
+                        my_wire: &self.wire_of[r],
                     };
                     let awake = self.awake[r];
                     let wake_at = self.wake_at[r];
@@ -1172,13 +1462,16 @@ mod tests {
     }
 
     /// A split 2x2 mesh: shard 0 owns the top row, shard 1 the bottom.
+    /// Regions come fused onto the runner's exchange arena (the production
+    /// configuration).
     fn split_2x2() -> (Topology, Noc, Vec<NocShard>, ShardRunner) {
         let topo = Topology::mesh(2, 2, 1);
         let single = Noc::new(&topo);
         let partition = Partition::mesh_rows(2, 2, 2);
-        let shards = single.clone().split(&topo, &partition);
+        let mut shards = single.clone().split(&topo, &partition);
         let wires = wires_of(&shards);
         let runner = ShardRunner::new(shards.len(), wires, 0);
+        runner.fuse(&mut shards);
         (topo, single, shards, runner)
     }
 
@@ -1330,6 +1623,7 @@ mod tests {
         for (shards, parallel) in [(&mut seq, false), (&mut par, true)] {
             let wires = wires_of(shards);
             let mut runner = ShardRunner::new(shards.len(), wires, 0);
+            runner.fuse(shards);
             for &w in &words {
                 let (s, l) = locate(shards, 0);
                 runner.wake(shards, s);
@@ -1360,66 +1654,156 @@ mod tests {
         assert_eq!(a.len(), 4);
     }
 
-    // ---- Cycle-stamped mailboxes -------------------------------------
+    #[test]
+    fn wake_replays_in_flight_cut_words_at_exact_cycles() {
+        // Mid-overlap wake: a producer shard has run ahead and left cut
+        // words in the arena rings while the consumer shard sleeps behind
+        // the runner's cycle. `wake` must not blind-skip the consumer past
+        // the due cycles — it has to absorb each in-flight word at exactly
+        // its stamp, then tick (not skip) once it holds live state.
+        let (topo, mut single, mut shards, mut runner) = split_2x2();
+        let path = topo.route(0, 2).unwrap(); // S then eject: crosses the cut
+        let words = gt_packet(path, 2, &[11, 22]);
+        let (ps, pl) = locate(&shards, 0);
+        assert_eq!(ps, 0, "producer NI lives in shard 0");
+        // Drive the producer shard alone, as a pipelined worker would:
+        // shard 0 runs ahead to cycle K while shard 1 never ticks.
+        const K: u64 = 12;
+        for t in 0..K {
+            for (i, &w) in words.iter().enumerate() {
+                if i as u64 == t {
+                    single.ni_link_mut(0).send(w);
+                    shards[0].noc.ni_link_mut(pl).send(w);
+                }
+            }
+            single.tick();
+            shards[0].noc.tick();
+        }
+        // Forge the runner's mid-overlap view: global time is K, shard 1
+        // asleep at cycle 0 with no horizon of its own.
+        runner.cycle = K;
+        runner.awake = vec![true, false];
+        runner.wake_at = vec![0, u64::MAX];
+        let in_flight: usize = runner
+            .wires
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.dst_shard == 1)
+            .map(|(i, _)| runner.arena.ring(i).occupied())
+            .sum();
+        assert!(in_flight > 0, "cut words are in flight toward shard 1");
+        runner.wake(&mut shards, 1);
+        assert_eq!(shards[1].noc.cycle(), K, "woken region caught up");
+        assert!(
+            runner.arena.is_empty() || shards[1].noc.boundaries_silent(),
+            "every in-flight word was consumed"
+        );
+        // The replayed words arrive bit-identically to the monolithic run.
+        single.run(60);
+        runner.run(&mut shards, 60);
+        let (ds, dl) = locate(&shards, 2);
+        let a: Vec<_> = std::iter::from_fn(|| single.ni_link_mut(2).recv()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| shards[ds].noc.ni_link_mut(dl).recv()).collect();
+        assert_eq!(a, b, "delivery differs after the cooperative wake");
+        assert_eq!(a.len(), words.len(), "whole worm delivered");
+        assert_eq!(*single.stats(), merged(&shards), "statistics differ");
+    }
+
+    // ---- Arena wire rings --------------------------------------------
 
     #[test]
-    fn mailbox_delivers_at_exact_due_cycles() {
-        let mut mb = Mailbox::new();
+    fn ring_delivers_at_exact_due_cycles() {
+        let ring: WireRing = WireRing::new(0);
         let w = LinkWord::header_only(7, WordClass::BestEffort);
-        mb.push(3, Some(w), 0);
-        mb.push(5, None, 2);
-        assert_eq!(mb.len(), 2);
-        assert_eq!(mb.next_due(), Some(3));
-        // Early cycles: nothing, and the entry stays queued.
-        assert_eq!(mb.take_due(1), None);
-        assert_eq!(mb.take_due(2), None);
-        assert_eq!(mb.take_due(3), Some((Some(w), 0)));
-        assert_eq!(mb.take_due(4), None, "stamp 5 must not surface at 4");
-        assert_eq!(mb.take_due(5), Some((None, 2)));
-        assert!(mb.is_empty());
-        assert_eq!(mb.take_due(6), None);
+        ring.send_word(2, w);
+        ring.send_credits(3, 2);
+        assert!(!ring.is_silent());
+        assert_eq!(ring.occupied(), 2);
+        // Early cycles: nothing, and the slots stay occupied.
+        assert_eq!(ring.take_due(0), None);
+        assert_eq!(ring.take_due(1), None);
+        assert!(ring.has_due(2));
+        assert!(!ring.has_due(1));
+        assert_eq!(ring.take_due(2), Some((Some(w), 0)));
+        assert_eq!(ring.take_due(3), Some((None, 2)));
+        assert!(ring.is_silent());
+        assert_eq!(ring.take_due(4), None);
+    }
+
+    #[test]
+    fn ring_accumulates_credits_in_place() {
+        let ring: WireRing = WireRing::new(0);
+        ring.send_credits(2, 1);
+        ring.send_credits(2, 1);
+        ring.send_credits(2, 3);
+        let w = LinkWord::header_only(9, WordClass::Guaranteed);
+        ring.send_word(2, w);
+        assert_eq!(ring.take_due(2), Some((Some(w), 5)));
+        assert!(ring.is_silent());
     }
 
     #[test]
     #[should_panic(expected = "missed")]
-    fn mailbox_panics_on_missed_due_cycle() {
-        let mut mb = Mailbox::new();
-        mb.push(3, None, 1);
-        let _ = mb.take_due(4); // cycle 3 was skipped
+    fn ring_panics_on_missed_due_cycle() {
+        let ring: WireRing = WireRing::new(0);
+        ring.send_word(3, LinkWord::header_only(7, WordClass::BestEffort));
+        let _ = ring.take_due(7); // cycle 3 was skipped (same slot, later t)
     }
 
     #[test]
-    #[should_panic(expected = "stamps must increase")]
-    fn mailbox_rejects_out_of_order_stamps() {
-        let mut mb = Mailbox::new();
-        mb.push(5, None, 1);
-        mb.push(5, None, 1);
+    #[should_panic(expected = "overrun")]
+    fn ring_panics_on_slot_overrun() {
+        let ring: WireRing = WireRing::new(0);
+        ring.send_credits(1, 1);
+        // RING_SLOTS cycles later the slot recurs while still unconsumed —
+        // only reachable if the watermark discipline were broken.
+        ring.send_credits(1 + RING_SLOTS as u64, 1);
     }
 
     #[test]
-    fn mailbox_never_absorbs_before_due_randomized() {
-        // Property: a consumer sweeping every cycle receives each entry at
-        // exactly its stamp, regardless of how far ahead the producer ran.
+    fn ring_next_due_scans_all_slots() {
+        let ring: WireRing = WireRing::new(0);
+        assert_eq!(ring.next_due(0), None);
+        ring.send_credits(5, 1);
+        ring.send_credits(6, 1);
+        assert_eq!(ring.next_due(0), Some(5));
+        assert_eq!(ring.next_due(6), Some(6));
+        assert_eq!(ring.next_due(7), None);
+    }
+
+    #[test]
+    fn ring_watermark_publish_and_rebase() {
+        let ring: WireRing = WireRing::new(10);
+        ring.publish(10);
+        ring.publish(11);
+        ring.wait_published(11); // returns: 11 is final
+        ring.rebase(20);
+        ring.publish(20);
+        ring.wait_published(20);
+    }
+
+    #[test]
+    fn ring_never_surfaces_before_due_randomized() {
+        // Property: a consumer sweeping every cycle right behind the
+        // producer receives each entry at exactly its stamp.
         let mut rng = Rng64::seed_from_u64(0xD0E);
         for _ in 0..50 {
-            let mut mb = Mailbox::new();
-            let mut due = 0u64;
+            let ring: WireRing = WireRing::new(0);
             let mut expected = Vec::new();
-            for _ in 0..rng.below(20) {
-                due += 1 + rng.below(5);
-                let credits = rng.below(4) as u32;
-                mb.push(due, None, credits);
-                expected.push((due, credits));
-            }
             let mut got = Vec::new();
-            for t in 0..=due {
-                if let Some((word, credits)) = mb.take_due(t) {
+            for t in 0..100u64 {
+                if rng.below(3) == 0 {
+                    let credits = 1 + rng.below(4) as u32;
+                    ring.send_credits(t, credits);
+                    expected.push((t, credits));
+                }
+                if let Some((word, credits)) = ring.take_due(t) {
                     assert!(word.is_none());
                     got.push((t, credits));
                 }
             }
             assert_eq!(got, expected, "each entry surfaced at its stamp");
-            assert!(mb.is_empty());
+            assert!(ring.is_silent());
         }
     }
 
@@ -1455,6 +1839,7 @@ mod tests {
         drain: NiId,
         batch: u64,
         parallel: bool,
+        fused: bool,
     ) -> (Vec<(u64, LinkWord)>, NocStats) {
         let topo = Topology::mesh(2, 2, 1);
         let single = Noc::new(&topo);
@@ -1462,6 +1847,9 @@ mod tests {
         let mut shards = single.split(&topo, &partition);
         let wires = wires_of(&shards);
         let mut runner = ShardRunner::new(shards.len(), wires, 0).with_batch(batch);
+        if fused {
+            runner.fuse(&mut shards);
+        }
         let (ds, dl) = locate(&shards, drain);
         let mut send_cycles: Vec<u64> = schedule.iter().map(|&(at, _, _)| at).collect();
         send_cycles.sort_unstable();
@@ -1510,18 +1898,29 @@ mod tests {
 
     #[test]
     fn batched_runs_are_bit_identical_for_all_batch_sizes() {
-        // Randomized traffic; every batch size and both execution modes
-        // must produce the identical drain trace and merged statistics.
+        // Randomized traffic; every batch size, both execution modes and
+        // both exchange paths (arena-fused and dirty-list bridge) must
+        // produce the identical drain trace and merged statistics. The
+        // unfused B=1 sequential run is the reference: it is the original
+        // lockstep semantics.
         for seed in [0xA37Eu64, 0xBEEF, 0x5EED5] {
             let schedule = random_schedule(seed);
-            let reference = batched_observation(&schedule, 400, 3, 1, false);
-            for batch in [2u64, 3, 7, 16] {
-                let seq = batched_observation(&schedule, 400, 3, batch, false);
-                assert_eq!(seq, reference, "sequential batch {batch} diverged");
-            }
-            for batch in [1u64, 7, 16] {
-                let par = batched_observation(&schedule, 400, 3, batch, true);
-                assert_eq!(par, reference, "parallel batch {batch} diverged");
+            let reference = batched_observation(&schedule, 400, 3, 1, false, false);
+            for fused in [false, true] {
+                for batch in [2u64, 3, 7, 16] {
+                    let seq = batched_observation(&schedule, 400, 3, batch, false, fused);
+                    assert_eq!(
+                        seq, reference,
+                        "sequential batch {batch} (fused: {fused}) diverged"
+                    );
+                }
+                for batch in [1u64, 7, 16] {
+                    let par = batched_observation(&schedule, 400, 3, batch, true, fused);
+                    assert_eq!(
+                        par, reference,
+                        "parallel batch {batch} (fused: {fused}) diverged"
+                    );
+                }
             }
         }
     }

@@ -133,6 +133,39 @@ impl LinkWord {
     pub fn is_tail(&self) -> bool {
         self.tail
     }
+
+    /// Packs the word and its control bits into a single non-zero `u64`:
+    /// bits 0–31 carry the data word, bit 32 the class (set = GT), bit 33
+    /// `head`, bit 34 `tail`, and bit 35 is always set (the presence
+    /// marker). `0` therefore means *no word* — the encoding a lock-free
+    /// exchange slot needs to hold "word or empty" in one atomic cell (see
+    /// [`crate::shard::WireRing`]).
+    #[inline]
+    pub fn pack_u64(self) -> u64 {
+        u64::from(self.word)
+            | (u64::from(self.class == WordClass::Guaranteed) << 32)
+            | (u64::from(self.head) << 33)
+            | (u64::from(self.tail) << 34)
+            | (1 << 35)
+    }
+
+    /// Inverse of [`LinkWord::pack_u64`]: `None` for the empty encoding.
+    #[inline]
+    pub fn unpack_u64(v: u64) -> Option<Self> {
+        if v & (1 << 35) == 0 {
+            return None;
+        }
+        Some(LinkWord {
+            word: v as Word,
+            class: if v & (1 << 32) != 0 {
+                WordClass::Guaranteed
+            } else {
+                WordClass::BestEffort
+            },
+            head: v & (1 << 33) != 0,
+            tail: v & (1 << 34) != 0,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +221,25 @@ mod tests {
     fn slot_equals_flit() {
         assert_eq!(FLIT_WORDS, SLOT_WORDS);
         assert_eq!(FLIT_WORDS, 3);
+    }
+
+    #[test]
+    fn pack_u64_round_trips_every_flag_combination() {
+        for word in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            for class in WordClass::ALL {
+                for (head, tail) in [(false, false), (true, false), (false, true), (true, true)] {
+                    let w = LinkWord {
+                        word,
+                        class,
+                        head,
+                        tail,
+                    };
+                    let packed = w.pack_u64();
+                    assert_ne!(packed, 0, "packed words are never the empty encoding");
+                    assert_eq!(LinkWord::unpack_u64(packed), Some(w));
+                }
+            }
+        }
+        assert_eq!(LinkWord::unpack_u64(0), None);
     }
 }

@@ -1,35 +1,38 @@
-//! Model-checking the shard exchange protocol of `noc_sim::shard`.
+//! Model-checking the pipelined shard exchange protocol of
+//! `noc_sim::shard`.
 //!
 //! The bounded-interleaving explorer (`aethereal_testkit::mc`) drives the
-//! *production* protocol code — `SpinBarrier::wait`, `WireChannel`
-//! send/publish/wait/take, and the full `run_worker` epoch loop — on
-//! instrumented [`ModelSync`] cells, exhaustively within the documented
-//! bounds (preemption budget, single-entry store buffers). Three properties
-//! are asserted across every explored schedule:
+//! *production* protocol code — `WireRing` send/publish/wait/take and the
+//! full barrier-less `run_worker` loop — on instrumented [`ModelSync`]
+//! cells, exhaustively within the documented bounds (preemption budget,
+//! single-entry store buffers). The overlap invariants are asserted across
+//! every explored schedule:
 //!
-//! * **never-absorb-before-due** — a consumer takes a mailbox entry at
-//!   exactly its stamped cycle (the `Mailbox` asserts are live under the
-//!   model, so a violation panics the schedule);
+//! * **never absorb before due** — a consumer takes a ring slot at exactly
+//!   its stamped cycle (`WireRing::take_due`'s missed-cycle assertion and
+//!   the slot-index aliasing are both live under the model, so a violation
+//!   panics the schedule);
+//! * **never compute past an unpublished watermark** — a consumer that
+//!   proceeds into cycle `t` before every inbound producer published past
+//!   `t` observes a missing entry and panics (and a producer that outruns
+//!   the reverse-direction watermark overruns the ring's slot capacity,
+//!   which `WireRing::occupy` asserts);
 //! * **no lost wakeups** — every parked spin wait is eventually released
-//!   (a lost wakeup surfaces as a model deadlock);
-//! * **barrier generation correctness** — writes published before a
-//!   barrier `wait` are visible after the matching `wait` of every peer,
-//!   and the barrier is immediately reusable across epochs.
+//!   (a lost wakeup surfaces as a model deadlock).
 //!
 //! The seeded-mutant suite then weakens the protocol in five separate ways
-//! (dropped `Release`, reordered stores, watermark off-by-one in both
-//! directions, publish-before-send) and shows the checker catches each one
-//! — evidence the exploration actually covers the orderings the hand
-//! written atomics rely on.
+//! (publish-before-send, watermark off-by-one in both directions, a
+//! producer skipping the reverse watermark wait, a consumer skipping the
+//! forward watermark wait) and shows the checker catches each one —
+//! evidence the exploration actually covers the orderings the pipelined
+//! exchange relies on.
 
 use aethereal_testkit::mc::{self, Config, Failure, ModelSync, Outcome};
-use noc_sim::shard::{run_worker, wires_of, BoundaryWire, ExchangeSlice, SpinBarrier, WireChannel};
-use noc_sim::sync::{AtomicU64Cell, AtomicUsizeCell, Ordering, SyncFamily};
+use noc_sim::shard::{
+    run_worker, wires_of, BoundaryWire, CachePadded, ExchangeSlice, WireRing, RING_SLOTS,
+};
 use noc_sim::{Clocked, Noc, NocShard, PacketHeader, Partition, ShardRunner, Topology, WordClass};
 use std::sync::{Arc, Mutex};
-
-type U64 = <ModelSync as SyncFamily>::AtomicU64;
-type Usize = <ModelSync as SyncFamily>::AtomicUsize;
 
 fn assert_pass(outcome: &Outcome) {
     match outcome {
@@ -51,197 +54,85 @@ fn assert_caught(outcome: &Outcome, what: &str) {
 }
 
 // ---------------------------------------------------------------------------
-// SpinBarrier: the real protocol passes; ordering mutants deadlock.
+// WireRing: the pipelined watermark protocol on one wire pair.
 // ---------------------------------------------------------------------------
 
-/// Two threads, two epochs over the production [`SpinBarrier`], with a
-/// cross-thread handshake proving generation correctness: the value one
-/// side stores before its `wait` must be visible to the other side after
-/// the matching `wait` — in both epochs, so reuse after the reset is
-/// exercised too.
-#[test]
-fn spin_barrier_passes_model_check() {
-    let outcome = mc::explore(&Config::default(), |exec| {
-        let barrier = Arc::new(SpinBarrier::<ModelSync>::new(2));
-        // One cell per (thread, epoch): an epoch's cell is only ever
-        // written before its barrier and read after it, so any stale value
-        // is a barrier bug, not a test race.
-        let cells: Vec<Arc<U64>> = (0..4).map(|_| Arc::new(U64::new(0))).collect();
-        for me in 0..2 {
-            let barrier = Arc::clone(&barrier);
-            let mine: Vec<Arc<U64>> = cells[me * 2..me * 2 + 2].iter().map(Arc::clone).collect();
-            let peer: Vec<Arc<U64>> = cells[(1 - me) * 2..(1 - me) * 2 + 2]
-                .iter()
-                .map(Arc::clone)
-                .collect();
-            exec.spawn(move || {
-                for epoch in 0..2 {
-                    mine[epoch].store(epoch as u64 + 1, Ordering::Release);
-                    barrier.wait();
-                    assert_eq!(
-                        peer[epoch].load(Ordering::Acquire),
-                        epoch as u64 + 1,
-                        "epoch {epoch} write not visible after the barrier"
-                    );
-                }
-            });
-        }
-    });
-    assert_pass(&outcome);
-}
-
-/// A test double of [`SpinBarrier`] whose `wait` body is the production
-/// code with one seeded ordering mutation — the mutants the checker must
-/// catch. `Correct` reproduces the real implementation line for line, as a
-/// control that the double itself is faithful.
-struct MutantBarrier {
-    n: usize,
-    arrived: Usize,
-    generation: U64,
-    variant: Mutation,
-}
-
+/// How a participant orders its per-cycle protocol steps. `Correct` is the
+/// production order of `run_worker`: emit (send) → publish own cycle →
+/// wait on the peer's watermark → absorb (take).
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Mutation {
+enum Variant {
     /// The production ordering.
     Correct,
-    /// M1: the generation bump's `Release` dropped to `Relaxed` — the
-    /// buffered `arrived` reset may land *after* a peer re-entered the
-    /// barrier, losing its arrival.
-    RelaxedBump,
-    /// M2: generation bumped *before* the arrival count is reset — a peer
-    /// can re-enter between the two stores and its arrival is wiped.
-    BumpBeforeReset,
-}
-
-impl MutantBarrier {
-    fn new(n: usize, variant: Mutation) -> Self {
-        MutantBarrier {
-            n,
-            arrived: Usize::new(0),
-            generation: U64::new(0),
-            variant,
-        }
-    }
-
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            match self.variant {
-                Mutation::Correct => {
-                    self.arrived.store(0, Ordering::Relaxed);
-                    self.generation.fetch_add(1, Ordering::Release);
-                }
-                Mutation::RelaxedBump => {
-                    self.arrived.store(0, Ordering::Relaxed);
-                    self.generation.fetch_add(1, Ordering::Relaxed);
-                }
-                Mutation::BumpBeforeReset => {
-                    self.generation.fetch_add(1, Ordering::Release);
-                    self.arrived.store(0, Ordering::Relaxed);
-                }
-            }
-        } else {
-            ModelSync::spin_until(|| self.generation.load(Ordering::Acquire) != gen);
-        }
-    }
-}
-
-fn explore_barrier(variant: Mutation) -> Outcome {
-    mc::explore(&Config::default(), move |exec| {
-        let barrier = Arc::new(MutantBarrier::new(2, variant));
-        for _ in 0..2 {
-            let barrier = Arc::clone(&barrier);
-            exec.spawn(move || {
-                barrier.wait();
-                barrier.wait();
-            });
-        }
-    })
-}
-
-#[test]
-fn barrier_double_is_faithful() {
-    assert_pass(&explore_barrier(Mutation::Correct));
-}
-
-#[test]
-fn mutant_relaxed_generation_bump_is_caught() {
-    let outcome = explore_barrier(Mutation::RelaxedBump);
-    assert_caught(&outcome, "M1 dropped Release");
-    assert!(
-        matches!(outcome.failure(), Some(Failure::Deadlock { .. })),
-        "expected a lost-arrival deadlock: {outcome:?}"
-    );
-}
-
-#[test]
-fn mutant_generation_bump_before_reset_is_caught() {
-    let outcome = explore_barrier(Mutation::BumpBeforeReset);
-    assert_caught(&outcome, "M2 reordered stores");
-    assert!(
-        matches!(outcome.failure(), Some(Failure::Deadlock { .. })),
-        "expected a lost-arrival deadlock: {outcome:?}"
-    );
-}
-
-// ---------------------------------------------------------------------------
-// WireChannel: stamped-mailbox watermark protocol.
-// ---------------------------------------------------------------------------
-
-/// How a producer orders its per-cycle `send` and `publish` calls.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum ProducerVariant {
-    /// Production order: queue cycle `t`'s traffic, then publish `t`.
-    Correct,
-    /// M3: publish before send — the watermark claims cycle `t` is final
-    /// while its entry is still in flight.
+    /// M1: the producer publishes cycle `t` *before* placing `t`'s word in
+    /// the ring — the watermark claims the cycle final while its slot is
+    /// still in flight.
     PublishBeforeSend,
-    /// M4: publish stores `t` instead of `t + 1` — the consumer can never
-    /// observe the last cycle as final.
+    /// M2: the producer's publish stores `t` instead of `t + 1` — the
+    /// consumer can never observe the last cycle as final and starves.
     PublishBehind,
-    /// M5: publish stores `t + 2` — cycle `t + 1` is claimed final a cycle
-    /// early, letting the consumer run ahead of the mailbox.
+    /// M3: the producer's publish stores `t + 2` — cycle `t + 1` is
+    /// claimed final a cycle early, letting the consumer absorb ahead of
+    /// the ring's contents.
     PublishAhead,
+    /// M4: the producer never waits on the reverse-direction watermark —
+    /// the skew bound is gone and the producer laps the ring's slot
+    /// capacity while old cycles are still unconsumed.
+    ProducerSkipsReverseWait,
+    /// M5: the consumer absorbs cycle `t` without waiting for the forward
+    /// watermark to pass `t` — it computes past an unpublished cycle and
+    /// observes a missing entry.
+    ConsumerSkipsWait,
 }
 
-/// One producer stamping credit bundles for cycles `0..cycles`, one
-/// consumer absorbing each cycle at its exact due stamp. The consumer
-/// asserts it sees every entry, in order, with the stamped credit value —
-/// and `Mailbox::take_due`'s internal missed-entry assertion is live for
-/// every explored schedule.
-fn explore_wire(cycles: u64, variant: ProducerVariant) -> Outcome {
+/// One directed wire pair between a producer region and a consumer region,
+/// reduced to the protocol skeleton of `run_worker`: the producer stamps a
+/// credit bundle for every cycle of `0..cycles` into the forward ring; the
+/// consumer absorbs each cycle at its exact due stamp and publishes its
+/// own progress on the reverse ring, which is what bounds the producer's
+/// lead (the wire-adjacency skew rule).
+fn explore_wire_pair(cycles: u64, variant: Variant) -> Outcome {
     mc::explore(&Config::default(), move |exec| {
-        let ch = Arc::new(WireChannel::<ModelSync>::new(0));
+        let fwd = Arc::new(WireRing::<ModelSync>::new(0));
+        let rev = Arc::new(WireRing::<ModelSync>::new(0));
         {
-            let ch = Arc::clone(&ch);
+            let (fwd, rev) = (Arc::clone(&fwd), Arc::clone(&rev));
             exec.spawn(move || {
                 for t in 0..cycles {
                     match variant {
-                        ProducerVariant::Correct => {
-                            ch.send(t, None, t as u32 + 1);
-                            ch.publish(t);
+                        Variant::PublishBeforeSend => {
+                            fwd.publish(t);
+                            fwd.send_credits(t, t as u32 + 1);
                         }
-                        ProducerVariant::PublishBeforeSend => {
-                            ch.publish(t);
-                            ch.send(t, None, t as u32 + 1);
+                        Variant::PublishBehind => {
+                            fwd.send_credits(t, t as u32 + 1);
+                            // publish(t - 1): first unpublished stays at t.
+                            if let Some(p) = t.checked_sub(1) {
+                                fwd.publish(p);
+                            }
                         }
-                        ProducerVariant::PublishBehind => {
-                            ch.send(t, None, t as u32 + 1);
-                            ch.publish(t.saturating_sub(1));
+                        Variant::PublishAhead => {
+                            fwd.send_credits(t, t as u32 + 1);
+                            fwd.publish(t + 1);
                         }
-                        ProducerVariant::PublishAhead => {
-                            ch.send(t, None, t as u32 + 1);
-                            ch.publish(t + 1);
+                        _ => {
+                            fwd.send_credits(t, t as u32 + 1);
+                            fwd.publish(t);
                         }
+                    }
+                    if variant != Variant::ProducerSkipsReverseWait {
+                        rev.wait_published(t);
                     }
                 }
             });
         }
         exec.spawn(move || {
             for t in 0..cycles {
-                ch.wait_published(t);
-                let (word, credits) = ch
+                rev.publish(t);
+                if variant != Variant::ConsumerSkipsWait {
+                    fwd.wait_published(t);
+                }
+                let (word, credits) = fwd
                     .take_due(t)
                     .unwrap_or_else(|| panic!("cycle {t}'s entry not due at its stamp"));
                 assert!(word.is_none());
@@ -252,22 +143,29 @@ fn explore_wire(cycles: u64, variant: ProducerVariant) -> Outcome {
 }
 
 #[test]
-fn wire_channel_passes_model_check() {
-    assert_pass(&explore_wire(3, ProducerVariant::Correct));
+fn wire_ring_passes_model_check() {
+    assert_pass(&explore_wire_pair(3, Variant::Correct));
+}
+
+#[test]
+fn wire_ring_passes_model_check_across_slot_reuse() {
+    // More cycles than slots: the watermark chain alone must keep slot
+    // reuse safe across the wrap-around.
+    assert_pass(&explore_wire_pair(RING_SLOTS as u64 + 2, Variant::Correct));
 }
 
 #[test]
 fn mutant_publish_before_send_is_caught() {
     assert_caught(
-        &explore_wire(3, ProducerVariant::PublishBeforeSend),
-        "M3 publish/send reorder",
+        &explore_wire_pair(3, Variant::PublishBeforeSend),
+        "M1 publish/send reorder",
     );
 }
 
 #[test]
 fn mutant_watermark_behind_is_caught() {
-    let outcome = explore_wire(2, ProducerVariant::PublishBehind);
-    assert_caught(&outcome, "M4 watermark off-by-one (behind)");
+    let outcome = explore_wire_pair(2, Variant::PublishBehind);
+    assert_caught(&outcome, "M2 watermark off-by-one (behind)");
     assert!(
         matches!(outcome.failure(), Some(Failure::Deadlock { .. })),
         "expected the consumer to starve: {outcome:?}"
@@ -277,13 +175,31 @@ fn mutant_watermark_behind_is_caught() {
 #[test]
 fn mutant_watermark_ahead_is_caught() {
     assert_caught(
-        &explore_wire(3, ProducerVariant::PublishAhead),
-        "M5 watermark off-by-one (ahead)",
+        &explore_wire_pair(3, Variant::PublishAhead),
+        "M3 watermark off-by-one (ahead)",
+    );
+}
+
+#[test]
+fn mutant_producer_skipping_reverse_wait_is_caught() {
+    // Needs more cycles than slots so the unchecked lead actually laps the
+    // ring; `WireRing::occupy`'s overrun assertion is the tripwire.
+    assert_caught(
+        &explore_wire_pair(RING_SLOTS as u64 + 2, Variant::ProducerSkipsReverseWait),
+        "M4 producer skips the reverse watermark wait",
+    );
+}
+
+#[test]
+fn mutant_consumer_skipping_wait_is_caught() {
+    assert_caught(
+        &explore_wire_pair(3, Variant::ConsumerSkipsWait),
+        "M5 consumer computes past an unpublished watermark",
     );
 }
 
 // ---------------------------------------------------------------------------
-// The full epoch loop: run_worker on real split regions.
+// The full pipelined loop: run_worker on real split regions.
 // ---------------------------------------------------------------------------
 
 /// Builds the 2-region, 2-wire scenario: a 2x1 mesh cut between its two
@@ -308,7 +224,7 @@ fn split_two_regions() -> (Vec<NocShard>, Vec<BoundaryWire>) {
     (shards, wires)
 }
 
-/// Per-region exchange lists, as `ShardRunner::run_parallel` derives them.
+/// Per-region exchange lists, as `ShardRunner` derives them.
 fn exchange_lists(
     wires: &[BoundaryWire],
     regions: usize,
@@ -326,10 +242,12 @@ fn exchange_lists(
     lists
 }
 
-/// Model-checks `run_worker` itself — the production epoch loop over
-/// watermarks, stamped mailboxes and the epoch barrier — on the 2-region
-/// cut, asserting every explored schedule ends bit-identical to the
-/// sequential lockstep reference.
+/// Model-checks `run_worker` itself — the production pipelined loop over
+/// arena rings and published-cycle watermarks, with **no barrier**
+/// anywhere — on the 2-region cut, asserting every explored schedule ends
+/// bit-identical to the sequential lockstep reference. This is the overlap
+/// soundness argument run live: one region may be cycles into epoch N+1
+/// while its peer still drains epoch N, and the result must not change.
 fn explore_run_worker(batch: u64, cycles: u64) {
     // Sequential reference (the lockstep path run_parallel is pinned to).
     let (mut ref_shards, ref_wires) = split_two_regions();
@@ -359,20 +277,21 @@ fn explore_run_worker(batch: u64, cycles: u64) {
         let (shards, wires) = split_two_regions();
         let wires = Arc::new(wires);
         let lists = Arc::new(exchange_lists(&wires, 2));
-        let barrier = Arc::new(SpinBarrier::<ModelSync>::new(2));
-        let channels: Arc<Vec<WireChannel<ModelSync>>> =
-            Arc::new(wires.iter().map(|_| WireChannel::new(0)).collect());
+        let rings: Arc<Vec<CachePadded<WireRing<ModelSync>>>> = Arc::new(
+            wires
+                .iter()
+                .map(|_| CachePadded(WireRing::new(0)))
+                .collect(),
+        );
         let results: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(vec![None, None]));
         for (r, mut shard) in shards.into_iter().enumerate() {
-            let barrier = Arc::clone(&barrier);
-            let channels = Arc::clone(&channels);
+            let rings = Arc::clone(&rings);
             let wires = Arc::clone(&wires);
             let lists = Arc::clone(&lists);
             let results = Arc::clone(&results);
             exec.spawn(move || {
                 let slice = ExchangeSlice {
-                    barrier: &barrier,
-                    channels: &channels,
+                    rings: &rings,
                     wires: &wires,
                     out_list: &lists[r].0,
                     in_list: &lists[r].1,

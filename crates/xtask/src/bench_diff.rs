@@ -1,0 +1,376 @@
+//! `bench-diff`: compare two `BENCH_*.json` files benchmark-by-benchmark.
+//!
+//! Invoked as
+//! `cargo run -p xtask -- bench-diff <old.json> <new.json> [--threshold X]`,
+//! it matches records by benchmark name, prints the per-benchmark speedup
+//! (`old median / new median`, so `> 1` means the new file is faster) and
+//! exits nonzero if any benchmark present in both files regressed below
+//! the threshold. The default threshold of `0.5` is deliberately loose:
+//! CI hosts are shared and noisy, so the gate is meant to catch
+//! order-of-magnitude regressions (a lost fast path, an accidental
+//! debug-mode run), not single-digit drift — tighten it locally when
+//! comparing runs from the same quiet machine.
+//!
+//! The reader is a purpose-built scanner for the bench schema (the
+//! repo-wide JSON module in `aethereal-cfg` is integer-only by spec, while
+//! `median_ns` is fractional): it brace-matches the objects of the
+//! `"benchmarks"` array — skipping string literals, so free-text notes
+//! cannot desynchronize it — and keeps every object carrying both a
+//! `"name"` and a `"median_ns"`. Records in `"derived"` carry no
+//! `median_ns` and are ignored by construction.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+/// One benchmark record: name and median nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub name: String,
+    pub median_ns: f64,
+}
+
+/// Extracts every `{"name": ..., "median_ns": ...}` object from `text`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct hit.
+pub fn parse_records(text: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                i = skip_string(bytes, i)?;
+            }
+            b'{' => {
+                let end = object_end(bytes, i)?;
+                // Read the object's own key/value pairs with any nested
+                // objects (e.g. a record's "params") masked out, so a
+                // nested key can never shadow or split a record.
+                let body = top_level(&text[i..end])?;
+                if let (Some(name), Some(median)) = (
+                    string_field(&body, "name")?,
+                    number_field(&body, "median_ns")?,
+                ) {
+                    records.push(Record {
+                        name,
+                        median_ns: median,
+                    });
+                    i = end;
+                } else {
+                    // Not a record (the file root, a "derived" entry, …):
+                    // recurse into it.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(records)
+}
+
+/// The object's body with nested `{…}` objects replaced by blanks, so
+/// field lookups only see the object's own keys.
+fn top_level(body: &str) -> Result<String, String> {
+    let bytes = body.as_bytes();
+    let mut out = String::with_capacity(body.len());
+    let mut i = 1; // past the opening '{'
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let end = skip_string(bytes, i)?;
+                out.push_str(&body[i..end]);
+                i = end;
+            }
+            b'{' => {
+                i = object_end(bytes, i)?;
+                out.push(' ');
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Byte index just past the string literal starting at `start` (a `"`).
+fn skip_string(bytes: &[u8], start: usize) -> Result<usize, String> {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(i + 1),
+            _ => i += 1,
+        }
+    }
+    Err(format!("unterminated string at byte {start}"))
+}
+
+/// Byte index just past the `}` matching the `{` at `start`.
+fn object_end(bytes: &[u8], start: usize) -> Result<usize, String> {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                i = skip_string(bytes, i)?;
+            }
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                i += 1;
+                if depth == 0 {
+                    return Ok(i);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Err(format!("unbalanced braces from byte {start}"))
+}
+
+/// The value of `"key": "..."` inside a flat object body, if present.
+fn string_field(body: &str, key: &str) -> Result<Option<String>, String> {
+    let Some(raw) = field_value(body, key) else {
+        return Ok(None);
+    };
+    let raw = raw.trim_start();
+    if !raw.starts_with('"') {
+        return Err(format!("field {key:?} is not a string: {raw:?}"));
+    }
+    let end = skip_string(raw.as_bytes(), 0)?;
+    // The scanner only feeds this plain ASCII names; escapes stay escaped.
+    Ok(Some(raw[1..end - 1].to_string()))
+}
+
+/// The value of `"key": <number>` inside a flat object body, if present.
+fn number_field(body: &str, key: &str) -> Result<Option<f64>, String> {
+    let Some(raw) = field_value(body, key) else {
+        return Ok(None);
+    };
+    let num: String = raw
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse::<f64>()
+        .map(Some)
+        .map_err(|e| format!("field {key:?}: bad number {num:?}: {e}"))
+}
+
+/// The raw text following `"key":` inside `body`, if the key appears.
+fn field_value<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = body.find(&pat)?;
+    let rest = &body[at + pat.len()..];
+    let rest = rest.trim_start();
+    rest.strip_prefix(':')
+}
+
+/// The comparison of one benchmark present in both files.
+struct Row {
+    name: String,
+    old_ns: f64,
+    new_ns: f64,
+    /// `old / new`: `> 1` means the new run is faster.
+    speedup: f64,
+}
+
+/// Entry point for the `bench-diff` mode. `args` are the CLI arguments
+/// after the mode name.
+pub fn run(args: &mut dyn Iterator<Item = String>) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = 0.5f64;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold = v,
+                _ => {
+                    eprintln!("bench-diff: --threshold needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: cargo run -p xtask -- bench-diff <old.json> <new.json> [--threshold X]");
+        return ExitCode::FAILURE;
+    };
+    match diff(old_path, new_path, threshold) {
+        Ok(report) => {
+            print!("{}", report.text);
+            if report.regressions == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "bench-diff: {} benchmark(s) below {threshold}x of {old_path}",
+                    report.regressions
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Report {
+    text: String,
+    regressions: usize,
+}
+
+fn diff(old_path: &str, new_path: &str, threshold: f64) -> Result<Report, String> {
+    let read = |path: &str| -> Result<Vec<Record>, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let records = parse_records(&text).map_err(|e| format!("{path}: {e}"))?;
+        if records.is_empty() {
+            return Err(format!("{path}: no benchmark records found"));
+        }
+        Ok(records)
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    for o in &old {
+        match new.iter().find(|n| n.name == o.name) {
+            Some(n) => rows.push(Row {
+                name: o.name.clone(),
+                old_ns: o.median_ns,
+                new_ns: n.median_ns,
+                speedup: o.median_ns / n.median_ns,
+            }),
+            None => only_old.push(o.name.clone()),
+        }
+    }
+    let only_new: Vec<_> = new
+        .iter()
+        .filter(|n| old.iter().all(|o| o.name != n.name))
+        .map(|n| n.name.clone())
+        .collect();
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{:width$}  {:>14}  {:>14}  {:>8}",
+        "name", "old median ns", "new median ns", "speedup"
+    );
+    let mut regressions = 0usize;
+    for r in &rows {
+        let flag = if r.speedup < threshold {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            text,
+            "{:width$}  {:>14.3}  {:>14.3}  {:>7.3}x{flag}",
+            r.name, r.old_ns, r.new_ns, r.speedup
+        );
+    }
+    let _ = writeln!(
+        text,
+        "{} compared, {} only in {old_path}, {} only in {new_path}",
+        rows.len(),
+        only_old.len(),
+        only_new.len()
+    );
+    for name in &only_old {
+        let _ = writeln!(text, "  - {name} (dropped)");
+    }
+    for name in &only_new {
+        let _ = writeln!(text, "  + {name} (new)");
+    }
+    Ok(Report { text, regressions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "recorded": "2026-08-08",
+      "commit_note": "braces in strings { } [ ] must not confuse the scanner",
+      "benchmarks": [
+        {"name": "a", "median_ns": 10.5, "mean_ns": 11.0, "iters_per_sample": 100},
+        {"name": "b", "params": {"shards": 2, "batch": 16}, "host_parallelism": 4, "median_ns": 2000.0}
+      ],
+      "derived": [
+        {"name": "ratio_only", "value": 1.25}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_benchmarks_and_skips_derived() {
+        let records = parse_records(SAMPLE).expect("sample parses");
+        assert_eq!(
+            records,
+            vec![
+                Record {
+                    name: "a".into(),
+                    median_ns: 10.5
+                },
+                Record {
+                    name: "b".into(),
+                    median_ns: 2000.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_real_bench_file_shape() {
+        let root = crate::repo_root();
+        let text = fs::read_to_string(root.join("BENCH_pr7.json")).expect("baseline exists");
+        let records = parse_records(&text).expect("baseline parses");
+        assert!(records.len() > 30, "found {} records", records.len());
+        assert!(records.iter().all(|r| r.median_ns > 0.0));
+        assert!(records.iter().any(|r| r.name == "mesh16x16_uniform_seq_1k"));
+    }
+
+    #[test]
+    fn diff_flags_regressions_below_threshold() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        fs::write(
+            &old,
+            r#"{"benchmarks": [{"name": "a", "median_ns": 100.0}, {"name": "b", "median_ns": 100.0}]}"#,
+        )
+        .expect("write old");
+        fs::write(
+            &new,
+            r#"{"benchmarks": [{"name": "a", "median_ns": 80.0}, {"name": "b", "median_ns": 300.0}]}"#,
+        )
+        .expect("write new");
+        let report = diff(
+            old.to_str().expect("utf-8 path"),
+            new.to_str().expect("utf-8 path"),
+            0.5,
+        )
+        .expect("diff runs");
+        assert_eq!(report.regressions, 1, "report:\n{}", report.text);
+        assert!(report.text.contains("REGRESSION"));
+        let report = diff(
+            old.to_str().expect("utf-8 path"),
+            new.to_str().expect("utf-8 path"),
+            0.1,
+        )
+        .expect("diff runs");
+        assert_eq!(report.regressions, 0);
+    }
+}

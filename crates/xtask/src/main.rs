@@ -1,5 +1,9 @@
 //! Repo-local automation, invoked as `cargo run -p xtask -- <command>`.
 //!
+//! `bench-diff` compares two recorded `BENCH_*.json` files and gates on
+//! per-benchmark regressions (see [`bench_diff`]); CI runs it on the bench
+//! smoke output against the committed baseline.
+//!
 //! `lint` runs a hand-rolled source scanner over `crates/*/src` enforcing
 //! repo conventions that `clippy` cannot express:
 //!
@@ -26,6 +30,8 @@
 //! would trip it, so phrase messages accordingly.
 
 #![forbid(unsafe_code)]
+
+mod bench_diff;
 
 use std::fmt;
 use std::fs;
@@ -81,9 +87,10 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-diff") => bench_diff::run(&mut args),
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint   (got {:?})",
+                "usage: cargo run -p xtask -- lint | bench-diff <old.json> <new.json> [--threshold X]   (got {:?})",
                 other.unwrap_or("<none>")
             );
             ExitCode::FAILURE
