@@ -1,0 +1,61 @@
+//! E13 — snapshot/restore cost.
+//!
+//! No counterpart in the paper: this experiment prices the *simulator's*
+//! persistence layer, not the modeled hardware. Three questions per mesh
+//! size (4x4 / 8x8 / 16x16 uniform stream meshes, warm — queues filled,
+//! wormholes in flight):
+//!
+//! 1. **Capture** — one audited walk over every dynamic field into a JSON
+//!    value tree (`NocSystem::snapshot`).
+//! 2. **Text** — compact serialization of that tree (the checked-in
+//!    golden / on-disk format).
+//! 3. **Restore** — envelope validation plus the same walk in load
+//!    direction onto a warm target (`NocSystem::restore`).
+//!
+//! The derived `snapshot_bytes_*` metrics record the state footprint of
+//! the compact text per mesh size. A round-trip is re-verified before any
+//! timing: restoring the captured snapshot into a fresh system must
+//! reproduce it bit-for-bit.
+
+use aethereal_bench::harness::Criterion;
+use aethereal_bench::{criterion_group, criterion_main, stream_mesh, MeshTraffic};
+use aethereal_cfg::json;
+
+/// Cycles run before snapshotting, past the startup transient so the
+/// walk serializes a representative busy state.
+const WARMUP: u64 = 2_000;
+
+fn bench_size(c: &mut Criterion, width: usize, height: usize) {
+    let tag = format!("{width}x{height}");
+    let (mut sys, _, _) = stream_mesh(width, height, MeshTraffic::Uniform);
+    sys.run(WARMUP);
+    let snap = sys.snapshot().expect("snapshot");
+    // Round-trip spot-check before timing anything.
+    let (mut fresh, _, _) = stream_mesh(width, height, MeshTraffic::Uniform);
+    fresh.restore(&snap).expect("restore");
+    assert_eq!(
+        fresh.snapshot().expect("snapshot"),
+        snap,
+        "snapshot round-trip broke bit-identity"
+    );
+    let text = json::to_string_compact(&snap);
+    c.bench_function(&format!("snapshot_{tag}_uniform_warm"), |b| {
+        b.iter(|| sys.snapshot().expect("snapshot"))
+    });
+    c.bench_function(&format!("snapshot_text_{tag}"), |b| {
+        b.iter(|| json::to_string_compact(&snap))
+    });
+    c.bench_function(&format!("restore_{tag}_uniform_warm"), |b| {
+        b.iter(|| fresh.restore(&snap).expect("restore"))
+    });
+    c.derived(&format!("snapshot_bytes_{tag}"), text.len() as f64);
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    for (w, h) in [(4, 4), (8, 8), (16, 16)] {
+        bench_size(c, w, h);
+    }
+}
+
+criterion_group!(e13, bench_snapshot);
+criterion_main!(e13);

@@ -84,6 +84,11 @@ impl RawIp for CountingSink {
     fn done(&self) -> bool {
         true
     }
+
+    /// The only dynamic state is the received count.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        p.item(&mut self.received);
+    }
 }
 
 /// One configured stream: sender NI / tx channel → receiver NI / rx channel.

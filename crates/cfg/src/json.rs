@@ -187,6 +187,48 @@ pub fn to_string_pretty(v: &Value) -> String {
     out
 }
 
+/// Prints `v` on one line with no whitespace (serde_json `to_string`
+/// style). Objects are `BTreeMap`-backed, so the output is deterministic —
+/// the byte-stable form used for checked-in snapshot goldens, where the
+/// pretty printer's line-per-array-element would inflate a large state
+/// vector by an order of magnitude.
+pub fn to_string_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_compact(v, &mut out);
+    out
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(&n.to_string()),
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 fn write_value(v: &Value, indent: usize, out: &mut String) {
     match v {
         Value::Null => out.push_str("null"),
@@ -471,5 +513,19 @@ mod tests {
         let (tag, body) = data.as_variant().unwrap();
         assert_eq!(tag, "Ring");
         assert_eq!(body.unwrap().as_u64().unwrap(), 4);
+    }
+    #[test]
+    fn compact_round_trips_and_matches_pretty_semantics() {
+        let v = Value::obj(vec![
+            ("arr", Value::Arr(vec![Value::Num(1), Value::Num(2)])),
+            ("b", Value::Bool(true)),
+            ("s", Value::Str("a\"b".into())),
+            ("z", Value::Null),
+        ]);
+        let compact = to_string_compact(&v);
+        assert!(!compact.contains('\n'), "compact output is one line");
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+        assert_eq!(compact, r#"{"arr":[1,2],"b":true,"s":"a\"b","z":null}"#);
     }
 }

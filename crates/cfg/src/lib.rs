@@ -31,6 +31,7 @@ pub mod report;
 pub mod runtime;
 pub mod shard;
 pub mod slots;
+pub mod snapshot;
 pub mod spec;
 pub mod system;
 
@@ -38,5 +39,6 @@ pub use report::SystemReport;
 pub use runtime::{ConnectionHandle, ConnectionRequest, RuntimeConfigurator, Service};
 pub use shard::ShardedSystem;
 pub use slots::{SlotAllocation, SlotAllocator, SlotStrategy};
+pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT};
 pub use spec::{NocSpec, RegionsSpec, TopologySpec};
 pub use system::NocSystem;

@@ -29,8 +29,8 @@ use noc_sim::{LinkId, NiId, NocStats, RouterId, Topology};
 
 /// A [`NocSystem`] split into lockstep shard regions.
 pub struct ShardedSystem {
-    regions: Vec<NocSystem>,
-    runner: ShardRunner,
+    pub(crate) regions: Vec<NocSystem>,
+    pub(crate) runner: ShardRunner,
     /// Per shard: local router id → global router id.
     routers: Vec<Vec<RouterId>>,
     /// Per shard: local NI id → global NI id.

@@ -211,6 +211,28 @@ impl HwFifo {
             v.stamp(t);
         }
     }
+
+    /// Walks the queue through a persistence visitor (see
+    /// [`noc_sim::persist`]): occupancy in-stream, then each queued word
+    /// with its absolute visibility timestamp. A snapshot that does not
+    /// fit this FIFO's capacity fails the restore. The visible-count
+    /// register (`visible`/`seen_at`) is a cache of a past observation —
+    /// it is reset instead of persisted; the next query re-derives it
+    /// from the restored timestamps.
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        let n = p.len(self.q.len());
+        if n > self.capacity {
+            p.fail("snapshot fifo contents exceed the target's capacity");
+            return;
+        }
+        self.q.resize(n, (0, 0));
+        for (w, t) in &mut self.q {
+            noc_sim::persist::persist_u32(w, p);
+            p.item(t);
+        }
+        self.visible.set(0);
+        self.seen_at.set(0);
+    }
 }
 
 #[cfg(test)]

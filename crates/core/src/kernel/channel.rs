@@ -282,6 +282,34 @@ impl Channel {
         v.counter(&mut self.stats.flushes);
     }
 
+    /// Walks the channel's complete dynamic state through a persistence
+    /// visitor (see [`noc_sim::persist`]): the CNIP-written registers,
+    /// the flow-control counters, both hardware queues, and statistics —
+    /// the same field list as [`Channel::ff_visit`], in the same order.
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_bool, persist_u32};
+        persist_bool(&mut self.enabled, p);
+        persist_bool(&mut self.gt, p);
+        persist_u32(&mut self.path_rqid, p);
+        for e in &mut self.path_ext {
+            persist_u32(e, p);
+        }
+        persist_u32(&mut self.data_threshold, p);
+        persist_u32(&mut self.credit_threshold, p);
+        persist_u32(&mut self.space, p);
+        persist_u32(&mut self.credit_counter, p);
+        persist_u32(&mut self.flush_remaining, p);
+        persist_bool(&mut self.credit_flush, p);
+        self.src_q.persist(p);
+        self.dst_q.persist(p);
+        p.item(&mut self.stats.words_tx);
+        p.item(&mut self.stats.words_rx);
+        p.item(&mut self.stats.packets_tx);
+        p.item(&mut self.stats.credit_only_tx);
+        p.item(&mut self.stats.credits_tx);
+        p.item(&mut self.stats.flushes);
+    }
+
     /// Resets all dynamic state (used when the CNIP disables the channel —
     /// closing a connection).
     pub(crate) fn reset_dynamic(&mut self) {

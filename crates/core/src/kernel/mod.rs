@@ -821,6 +821,58 @@ impl NiKernel {
             c.ff_visit(v);
         }
     }
+
+    /// Walks the kernel's complete dynamic state through a persistence
+    /// visitor (see [`noc_sim::persist`]): the slot table, BE arbitration
+    /// state, both staging queues, the per-class receive cursors, the
+    /// CNIP's assembler and response buffer, statistics, and every
+    /// channel via [`Channel::persist`] — the same coverage as
+    /// [`NiKernel::ff_visit`] plus the walk-resistant pieces (arbitration
+    /// state, partial CNIP messages) that fast-forward refuses instead of
+    /// modelling.
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_opt_usize, persist_u32, persist_word};
+        let empty = LinkWord::header_only(0, WordClass::BestEffort);
+        for s in &mut self.slot_table {
+            persist_u32(s, p);
+        }
+        self.arb.persist(p);
+        let n = p.len(self.tx_gt.len());
+        self.tx_gt.resize(n, empty);
+        for w in &mut self.tx_gt {
+            persist_word(w, p);
+        }
+        let n = p.len(self.tx_be.len());
+        self.tx_be.resize(n, empty);
+        for w in &mut self.tx_be {
+            persist_word(w, p);
+        }
+        for r in &mut self.rx_cur {
+            persist_opt_usize(r, p);
+        }
+        if let Some(c) = &mut self.cnip {
+            c.asm.persist(p);
+            let n = p.len(c.out.len());
+            c.out.resize(n, 0);
+            for w in &mut c.out {
+                persist_u32(w, p);
+            }
+        }
+        p.item(&mut self.stats.packets_tx[0]);
+        p.item(&mut self.stats.packets_tx[1]);
+        p.item(&mut self.stats.packets_rx[0]);
+        p.item(&mut self.stats.packets_rx[1]);
+        p.item(&mut self.stats.header_words_tx);
+        p.item(&mut self.stats.payload_words_tx);
+        p.item(&mut self.stats.route_ext_words_tx);
+        p.item(&mut self.stats.credit_only_tx);
+        p.item(&mut self.stats.gt_slots_unused);
+        p.item(&mut self.stats.cnip_ops);
+        p.item(&mut self.stats.rx_drops);
+        for c in &mut self.channels {
+            c.persist(p);
+        }
+    }
 }
 
 /// The kernel on the engine contract: absorb drains what the previous

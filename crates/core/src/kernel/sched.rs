@@ -76,6 +76,20 @@ impl ArbState {
                 .max_by_key(|&ch| (sendable(ch), std::cmp::Reverse(ch))),
         }
     }
+
+    /// Walks the arbitration state through a persistence visitor: the
+    /// round-robin pointer and the weighted-round-robin deficit counters
+    /// (signed, carried as their two's-complement bits).
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        noc_sim::persist::persist_usize(&mut self.rr_next, p);
+        let n = p.len(self.wrr_counter.len());
+        self.wrr_counter.resize(n, 0);
+        for c in &mut self.wrr_counter {
+            let mut w = *c as u64;
+            p.item(&mut w);
+            *c = w as i64;
+        }
+    }
 }
 
 #[cfg(test)]

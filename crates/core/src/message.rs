@@ -422,6 +422,22 @@ impl MessageAssembler {
     pub fn errors(&self) -> u64 {
         self.errors
     }
+
+    /// Walks the assembler's dynamic state through a persistence visitor
+    /// (see [`noc_sim::persist`]): the expected length of the message
+    /// being framed, the error count, the partial word buffer, and every
+    /// complete-but-unconsumed message. `kind`/`ordering` are structural.
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_u32_list, persist_usize};
+        persist_usize(&mut self.need, p);
+        p.item(&mut self.errors);
+        persist_u32_list(&mut self.buf, p);
+        let n = p.len(self.ready.len());
+        self.ready.resize(n, Vec::new());
+        for m in &mut self.ready {
+            persist_u32_list(m, p);
+        }
+    }
 }
 
 #[cfg(test)]

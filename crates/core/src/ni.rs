@@ -229,6 +229,31 @@ impl Ni {
     pub fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
         self.kernel.ff_visit(v);
     }
+
+    /// Walks the NI's complete dynamic state through a persistence
+    /// visitor (see [`noc_sim::persist`]): the kernel, then every shell
+    /// stack in port order. Unlike [`Ni::ff_visit`] the shells ARE
+    /// walked — a snapshot may land mid-transaction, where shell state
+    /// (partial messages, histories, serialization progress) is live.
+    /// Raw and CNIP ports hold no shell state; the per-port
+    /// [`ClockDomain`]s are pure dividers with no phase counter.
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        self.kernel.persist(p);
+        for s in &mut self.stacks {
+            match s {
+                PortStack::Raw | PortStack::Cnip => {}
+                PortStack::Master(m) => m.persist(p),
+                PortStack::Slave(sl) => sl.persist(p),
+                PortStack::Config(c) => c.persist(p),
+            }
+        }
+    }
+}
+
+impl noc_sim::Persist for Ni {
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        Ni::persist(self, p);
+    }
 }
 
 /// A whole NI on the engine contract. One `tick` (absorb, then emit) is one

@@ -153,6 +153,83 @@ impl ConfigStack {
             && self.resp_out.is_empty()
     }
 
+    /// Walks the stack's complete dynamic state through a persistence
+    /// visitor (see [`noc_sim::persist`]): the run-time route bindings
+    /// (target NI → local channel, in sorted order for a deterministic
+    /// stream), queued operations, the in-flight serialized message, the
+    /// response assemblers, the local/remote history, delivered
+    /// responses and the operation counter. Bindings are dynamic state —
+    /// `bind` is issued at run time, so a restored shell must carry them.
+    pub fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_bool, persist_u32_list, persist_usize};
+        let mut routes: Vec<(usize, usize)> = self.route.drain().collect();
+        routes.sort_unstable();
+        let n = p.len(routes.len());
+        routes.resize(n, (0, 0));
+        for (ni, local) in &mut routes {
+            persist_usize(ni, p);
+            persist_usize(local, p);
+        }
+        self.route = routes.into_iter().collect();
+        let n = p.len(self.pending.len());
+        self.pending.resize(n, Transaction::persist_default());
+        for t in &mut self.pending {
+            t.persist(p);
+        }
+        let mut have_tx = self.tx.is_some();
+        persist_bool(&mut have_tx, p);
+        if have_tx != self.tx.is_some() {
+            self.tx = have_tx.then(|| TxMsg {
+                words: Vec::new(),
+                local: 0,
+                progress: 0,
+            });
+        }
+        if let Some(tx) = &mut self.tx {
+            persist_u32_list(&mut tx.words, p);
+            persist_usize(&mut tx.local, p);
+            persist_usize(&mut tx.progress, p);
+        }
+        for a in &mut self.asm {
+            a.persist(p);
+        }
+        let n = p.len(self.history.len());
+        self.history
+            .resize(n, HistEntry::Local(TransactionResponse::ack(0)));
+        for h in &mut self.history {
+            let mut tag = match h {
+                HistEntry::Local(_) => 0u64,
+                HistEntry::Remote(_) => 1,
+            };
+            p.item(&mut tag);
+            match tag {
+                0 => {
+                    let mut r = match h {
+                        HistEntry::Local(r) => r.clone(),
+                        HistEntry::Remote(_) => TransactionResponse::ack(0),
+                    };
+                    r.persist(p);
+                    *h = HistEntry::Local(r);
+                }
+                1 => {
+                    let mut local = match h {
+                        HistEntry::Remote(l) => *l,
+                        HistEntry::Local(_) => 0,
+                    };
+                    persist_usize(&mut local, p);
+                    *h = HistEntry::Remote(local);
+                }
+                _ => p.fail("snapshot item is not a config history tag"),
+            }
+        }
+        let n = p.len(self.resp_out.len());
+        self.resp_out.resize(n, TransactionResponse::ack(0));
+        for r in &mut self.resp_out {
+            r.persist(p);
+        }
+        p.item(&mut self.ops);
+    }
+
     /// Advances the shell by one port cycle.
     pub fn tick(&mut self, kernel: &mut NiKernel, now: u64) {
         self.dispatch(kernel);

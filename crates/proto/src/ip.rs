@@ -61,6 +61,17 @@ pub trait MasterIp: ClockedWith<MasterStack> + Send {
             now
         }
     }
+
+    /// Walks the IP's complete dynamic state through a persistence visitor
+    /// (see [`noc_sim::persist`]), for full-system snapshot/restore.
+    ///
+    /// The default **poisons the walk**: an IP that has not been audited
+    /// for persistence fails the snapshot loudly instead of silently
+    /// dropping its state. Override only when every dynamic field is
+    /// either in the walk or provably re-derivable.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        p.fail("IP model has no persist audit");
+    }
 }
 
 /// A slave IP module serving a slave port.
@@ -79,6 +90,12 @@ pub trait SlaveIp: ClockedWith<SlaveStack> + Send {
     fn idle_until(&self, now: u64) -> u64 {
         let _ = now;
         u64::MAX
+    }
+
+    /// Walks the IP's complete dynamic state through a persistence visitor
+    /// — see [`MasterIp::persist`]. The default poisons the walk.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        p.fail("IP model has no persist audit");
     }
 }
 
@@ -114,5 +131,11 @@ pub trait RawIp: for<'a> ClockedWith<RawPort<'a>> + Send {
     /// behavior is a pure function of that state.
     fn ff_visit(&mut self, v: &mut dyn noc_sim::FfVisit) {
         v.reject();
+    }
+
+    /// Walks the IP's complete dynamic state through a persistence visitor
+    /// — see [`MasterIp::persist`]. The default poisons the walk.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        p.fail("IP model has no persist audit");
     }
 }

@@ -139,6 +139,40 @@ impl SlaveIp for MemorySlave {
             None => u64::MAX,
         }
     }
+
+    /// Complete dynamic state: the sparse memory contents (sorted by
+    /// address for a canonical stream), the LL/SC reservation, the latency
+    /// pipeline of responses waiting to retire, and the access counters.
+    /// `latency` is construction state and must match on the restore
+    /// target.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_bool, persist_u32};
+        let mut mem: Vec<(u32, u32)> = self.mem.drain().collect();
+        mem.sort_unstable();
+        let n = p.len(mem.len());
+        mem.resize(n, (0, 0));
+        for (addr, value) in &mut mem {
+            persist_u32(addr, p);
+            persist_u32(value, p);
+        }
+        self.mem = mem.into_iter().collect();
+        let mut have = self.reservation.is_some();
+        persist_bool(&mut have, p);
+        if have != self.reservation.is_some() {
+            self.reservation = have.then_some(0);
+        }
+        if let Some(addr) = &mut self.reservation {
+            persist_u32(addr, p);
+        }
+        let n = p.len(self.inflight.len());
+        self.inflight.resize(n, (0, TransactionResponse::ack(0)));
+        for (ready, resp) in &mut self.inflight {
+            p.item(ready);
+            resp.persist(p);
+        }
+        p.item(&mut self.reads);
+        p.item(&mut self.writes);
+    }
 }
 
 #[cfg(test)]

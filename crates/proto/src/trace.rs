@@ -164,6 +164,28 @@ impl MasterIp for TraceMaster {
             None => u64::MAX,
         }
     }
+
+    /// Complete dynamic state: the replay cursor, the issue/completion
+    /// counters, the outstanding map (sorted by id for a canonical
+    /// stream), the latency record and the slip accumulator. The trace
+    /// itself is construction state and must match on the restore target.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_u16, persist_u64_list, persist_usize};
+        persist_usize(&mut self.next, p);
+        p.item(&mut self.issued);
+        p.item(&mut self.completed);
+        let mut inflight: Vec<(u16, u64)> = self.inflight.drain().collect();
+        inflight.sort_unstable();
+        let n = p.len(inflight.len());
+        inflight.resize(n, (0, 0));
+        for (tid, start) in &mut inflight {
+            persist_u16(tid, p);
+            p.item(start);
+        }
+        self.inflight = inflight.into_iter().collect();
+        persist_u64_list(&mut self.latencies, p);
+        p.item(&mut self.slip);
+    }
 }
 
 #[cfg(test)]

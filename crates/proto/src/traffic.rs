@@ -234,6 +234,38 @@ impl MasterIp for TrafficGenerator {
             None => now,
         }
     }
+
+    /// Complete dynamic state: the RNG, the transaction-id counter, the
+    /// issue/completion/error counters, the pacing stamp, the outstanding
+    /// map (sorted by id for a canonical stream) and the latency record.
+    /// `cfg` is construction state and must match on the restore target.
+    fn persist(&mut self, p: &mut dyn noc_sim::PersistVisit) {
+        use noc_sim::persist::{persist_bool, persist_u16, persist_u64_list};
+        noc_sim::Persist::persist(&mut self.rng, p);
+        persist_u16(&mut self.next_tid, p);
+        p.item(&mut self.issued);
+        p.item(&mut self.completed);
+        p.item(&mut self.errors);
+        let mut have = self.last_submit.is_some();
+        persist_bool(&mut have, p);
+        if have != self.last_submit.is_some() {
+            self.last_submit = have.then_some(0);
+        }
+        if let Some(last) = &mut self.last_submit {
+            p.item(last);
+        }
+        let mut inflight: Vec<(u16, u64)> = self.inflight.drain().collect();
+        inflight.sort_unstable();
+        let n = p.len(inflight.len());
+        inflight.resize(n, (0, 0));
+        for (tid, start) in &mut inflight {
+            persist_u16(tid, p);
+            p.item(start);
+        }
+        self.inflight = inflight.into_iter().collect();
+        persist_u64_list(&mut self.latencies, p);
+        p.item(&mut self.words_moved);
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +329,31 @@ mod tests {
         for now in 0..128 {
             let t = g.build_transaction(now);
             assert!((0x100..0x140).contains(&t.addr), "addr {:#x}", t.addr);
+        }
+    }
+
+    #[test]
+    fn persist_round_trips_into_an_identical_future() {
+        use crate::ip::MasterIp;
+        use noc_sim::{StateLoader, StateSaver};
+        let cfg = TrafficGeneratorConfig {
+            seed: 11,
+            ..Default::default()
+        };
+        let mut g = TrafficGenerator::new(cfg.clone());
+        for now in 0..10 {
+            let _ = g.build_transaction(now);
+        }
+        let mut saver = StateSaver::new();
+        g.persist(&mut saver);
+        let words = saver.finish().expect("save walk");
+        let mut fresh = TrafficGenerator::new(cfg);
+        let mut loader = StateLoader::new(words);
+        fresh.persist(&mut loader);
+        loader.finish().expect("load walk");
+        assert_eq!(fresh.inflight, g.inflight);
+        for now in 10..40 {
+            assert_eq!(fresh.build_transaction(now), g.build_transaction(now));
         }
     }
 

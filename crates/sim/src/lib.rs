@@ -62,6 +62,7 @@ pub mod header;
 pub mod link;
 pub mod noc;
 pub mod path;
+pub mod persist;
 pub mod ring;
 pub mod rng;
 pub mod router;
@@ -77,6 +78,7 @@ pub use header::PacketHeader;
 pub use link::{LinkId, LinkState};
 pub use noc::{NiLink, Noc, NocConfig};
 pub use path::{Path, PortIdx, Route, RouteBuildError, MAX_HOPS, MAX_ROUTE_SEGMENTS};
+pub use persist::{Persist, PersistError, PersistVisit, StateLoader, StateSaver};
 pub use ring::Ring;
 pub use rng::Rng64;
 pub use router::Router;

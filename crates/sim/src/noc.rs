@@ -739,6 +739,66 @@ impl Noc {
         }
     }
 
+    /// Walks the network's complete dynamic state through the persistence
+    /// visitor (see [`crate::persist`]): the snapshot twin of
+    /// [`Noc::ff_visit`]. Everything the fast-forward walk classifies is
+    /// persisted — cycle, statistics, wires, NI handles, boundary
+    /// registers, dirty lists, routers — while structural wiring (the
+    /// topology maps, the config) and the fused exchange handle stay
+    /// outside: a snapshot restores onto an identically-built network, and
+    /// in-flight arena state travels with the shard runner's walk, not the
+    /// region's. The per-tick scratch is transient (cleared at the top of
+    /// every emit) and carries nothing between cycles.
+    fn persist_walk(&mut self, p: &mut dyn crate::persist::PersistVisit) {
+        use crate::persist::{
+            persist_bool, persist_opt_word, persist_ring, persist_u32, persist_usize_list,
+            persist_word, Persist,
+        };
+        p.item(&mut self.cycle);
+        p.item(&mut self.stats.cycles);
+        p.item(&mut self.stats.gt_conflicts);
+        p.item(&mut self.stats.be_overflows);
+        for d in &mut self.stats.delivered {
+            p.item(d);
+        }
+        for ls in &mut self.stats.links {
+            for w in &mut ls.words {
+                p.item(w);
+            }
+            for h in &mut ls.headers {
+                p.item(h);
+            }
+        }
+        for l in &mut self.links {
+            persist_opt_word(&mut l.wire, p);
+        }
+        let empty = LinkWord::header_only(0, WordClass::BestEffort);
+        for h in &mut self.ni_links {
+            persist_opt_word(&mut h.outgoing, p);
+            persist_ring(&mut h.incoming, empty, p, |w, p| persist_word(w, p));
+            persist_u32(&mut h.credits, p);
+        }
+        persist_usize_list(&mut self.dirty_out, p);
+        persist_usize_list(&mut self.dirty_in, p);
+        for b in &mut self.boundaries {
+            persist_opt_word(&mut b.out_word, p);
+            persist_u32(&mut b.out_credits, p);
+            persist_bool(&mut b.out_dirty, p);
+            persist_opt_word(&mut b.in_word, p);
+            persist_u32(&mut b.in_credits, p);
+            persist_bool(&mut b.in_dirty, p);
+            for w in &mut b.stats.words {
+                p.item(w);
+            }
+            for hd in &mut b.stats.headers {
+                p.item(hd);
+            }
+        }
+        for r in &mut self.routers {
+            r.persist(p);
+        }
+    }
+
     /// The earliest due cycle across every router's GT calendar (`u64::MAX`
     /// when all calendars are empty).
     pub fn next_gt_due(&self) -> u64 {
@@ -759,6 +819,12 @@ impl Noc {
     /// path).
     pub fn run(&mut self, n: u64) {
         Engine::run(self, n);
+    }
+}
+
+impl crate::persist::Persist for Noc {
+    fn persist(&mut self, p: &mut dyn crate::persist::PersistVisit) {
+        self.persist_walk(p);
     }
 }
 

@@ -1,0 +1,459 @@
+//! Full-state persistence: the audited serialization walk behind
+//! snapshot/restore.
+//!
+//! The paper's "flexible network configuration" story (§4) implies a
+//! network whose complete state is inspectable and reconstructible; this
+//! module is the engine-level half of that capability. It follows the same
+//! *audited-walk* discipline as the fast-forward layer ([`crate::ff`]):
+//! every persistable component implements [`Persist`] with **one**
+//! deterministic traversal of its dynamic fields, and the same walk serves
+//! both directions — a [`StateSaver`] records each visited item, a
+//! [`StateLoader`] replays the recorded items in the identical order. A
+//! field that is not visited is a structurally visible omission (the walk
+//! sits next to the struct definition, and the `xtask lint` persist audit
+//! cross-checks field counts), the same argument that keeps `ff_visit`
+//! honest.
+//!
+//! What gets visited: *dynamic* state only — cycle counters, queue
+//! contents, in-flight words, credit counters, RNG state, runtime-written
+//! registers (routes, slot tables, channel control words). Structural
+//! state (topology, capacities, specs, bindings) is deliberately absent:
+//! a snapshot restores onto a freshly built, identically-specified target,
+//! so everything derivable from the spec never enters the item stream.
+//! Derived caches (visibility memos, ready masks rebuilt from visited
+//! state) are reset or re-derived by the restoring walk instead of being
+//! persisted.
+//!
+//! The item stream is a flat `Vec<u64>` per component — lossless in the
+//! hand-rolled JSON layer (`aethereal-cfg`'s `Value::Num` is `u64`) and
+//! byte-stable across runs, which is what lets golden snapshots be
+//! checked in and diffed. In-flight words travel as
+//! [`LinkWord::pack_u64`] (zero = no word); lengths travel in-stream via
+//! [`PersistVisit::len`], which is also what lets one walk resize
+//! collections on restore.
+
+use crate::ring::Ring;
+use crate::word::LinkWord;
+
+/// Error produced when a save or restore walk cannot complete: a component
+/// declared itself unpersistable, the item stream ran dry, or items were
+/// left over (a walk/snapshot shape mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+}
+
+impl PersistError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        PersistError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// The persistence visitor: one deterministic traversal of a component's
+/// dynamic state, usable for both capture and restore.
+///
+/// The traversal must visit the same items in the same order for any two
+/// states of the same structure — collection *contents* may differ, but
+/// every length difference must flow through [`PersistVisit::len`] so the
+/// restoring walk can resize before visiting elements.
+pub trait PersistVisit {
+    /// Visits one 64-bit state item: recorded on save, overwritten on
+    /// restore.
+    fn item(&mut self, v: &mut u64);
+
+    /// Visits a collection length. On save this records `cur` and returns
+    /// it unchanged; on restore it returns the recorded length, which the
+    /// walk must apply (resize/rebuild) before visiting the elements.
+    fn len(&mut self, cur: usize) -> usize;
+
+    /// Marks state this walk cannot persist (an IP model without a persist
+    /// audit, a snapshot that does not fit the target's capacities):
+    /// poisons the save or restore, which then reports an error instead of
+    /// producing a half-true snapshot.
+    fn fail(&mut self, why: &str);
+}
+
+/// A component whose complete dynamic state can be walked through a
+/// [`PersistVisit`] — the snapshot/restore analogue of
+/// [`FastForwardable`](crate::ff::FastForwardable)'s `ff_visit`.
+pub trait Persist {
+    /// Walks every dynamic field, in a fixed order, through `p`.
+    fn persist(&mut self, p: &mut dyn PersistVisit);
+}
+
+/// The capturing visitor: records each visited item into a flat stream.
+#[derive(Debug, Default)]
+pub struct StateSaver {
+    items: Vec<u64>,
+    error: Option<String>,
+}
+
+impl StateSaver {
+    /// Creates an empty saver.
+    pub fn new() -> Self {
+        StateSaver::default()
+    }
+
+    /// The recorded item stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if any visited component called
+    /// [`PersistVisit::fail`].
+    pub fn finish(self) -> Result<Vec<u64>, PersistError> {
+        match self.error {
+            Some(msg) => Err(PersistError::new(msg)),
+            None => Ok(self.items),
+        }
+    }
+}
+
+impl PersistVisit for StateSaver {
+    fn item(&mut self, v: &mut u64) {
+        self.items.push(*v);
+    }
+
+    fn len(&mut self, cur: usize) -> usize {
+        self.items.push(cur as u64);
+        cur
+    }
+
+    fn fail(&mut self, why: &str) {
+        if self.error.is_none() {
+            self.error = Some(why.to_string());
+        }
+    }
+}
+
+/// The restoring visitor: replays a recorded item stream into the same
+/// walk that produced it.
+#[derive(Debug)]
+pub struct StateLoader {
+    items: Vec<u64>,
+    at: usize,
+    error: Option<String>,
+}
+
+impl StateLoader {
+    /// Creates a loader over a recorded item stream.
+    pub fn new(items: Vec<u64>) -> Self {
+        StateLoader {
+            items,
+            at: 0,
+            error: None,
+        }
+    }
+
+    /// Reads the next recorded item, or fails the load.
+    fn next(&mut self) -> Option<u64> {
+        match self.items.get(self.at) {
+            Some(&v) => {
+                self.at += 1;
+                Some(v)
+            }
+            None => {
+                self.fail("snapshot item stream exhausted (walk/snapshot shape mismatch)");
+                None
+            }
+        }
+    }
+
+    /// Completes the load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the walk failed, ran past the end of
+    /// the stream, or left recorded items unconsumed — all three mean the
+    /// snapshot does not match the target's walk.
+    pub fn finish(self) -> Result<(), PersistError> {
+        if let Some(msg) = self.error {
+            return Err(PersistError::new(msg));
+        }
+        if self.at != self.items.len() {
+            return Err(PersistError::new(format!(
+                "snapshot carries {} unconsumed item(s) (walk/snapshot shape mismatch)",
+                self.items.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl PersistVisit for StateLoader {
+    fn item(&mut self, v: &mut u64) {
+        if let Some(x) = self.next() {
+            *v = x;
+        }
+    }
+
+    fn len(&mut self, _cur: usize) -> usize {
+        match self.next() {
+            Some(n) => usize::try_from(n).unwrap_or_else(|_| {
+                self.fail("snapshot length does not fit usize");
+                0
+            }),
+            None => 0,
+        }
+    }
+
+    fn fail(&mut self, why: &str) {
+        if self.error.is_none() {
+            self.error = Some(why.to_string());
+        }
+    }
+}
+
+// ---- Field helpers ------------------------------------------------------
+
+/// Persists a `u32` (widened in the stream; a recorded value that does not
+/// fit fails the restore).
+pub fn persist_u32(v: &mut u32, p: &mut dyn PersistVisit) {
+    let mut w = u64::from(*v);
+    p.item(&mut w);
+    match u32::try_from(w) {
+        Ok(x) => *v = x,
+        Err(_) => p.fail("snapshot item does not fit u32"),
+    }
+}
+
+/// Persists a `u16` (widened in the stream).
+pub fn persist_u16(v: &mut u16, p: &mut dyn PersistVisit) {
+    let mut w = u64::from(*v);
+    p.item(&mut w);
+    match u16::try_from(w) {
+        Ok(x) => *v = x,
+        Err(_) => p.fail("snapshot item does not fit u16"),
+    }
+}
+
+/// Persists a `u8` (widened in the stream).
+pub fn persist_u8(v: &mut u8, p: &mut dyn PersistVisit) {
+    let mut w = u64::from(*v);
+    p.item(&mut w);
+    match u8::try_from(w) {
+        Ok(x) => *v = x,
+        Err(_) => p.fail("snapshot item does not fit u8"),
+    }
+}
+
+/// Persists a `usize` (widened in the stream).
+pub fn persist_usize(v: &mut usize, p: &mut dyn PersistVisit) {
+    let mut w = *v as u64;
+    p.item(&mut w);
+    match usize::try_from(w) {
+        Ok(x) => *v = x,
+        Err(_) => p.fail("snapshot item does not fit usize"),
+    }
+}
+
+/// Persists a `bool` (0/1 in the stream; anything else fails the restore).
+pub fn persist_bool(v: &mut bool, p: &mut dyn PersistVisit) {
+    let mut w = u64::from(*v);
+    p.item(&mut w);
+    match w {
+        0 => *v = false,
+        1 => *v = true,
+        _ => p.fail("snapshot item is not a bool"),
+    }
+}
+
+/// Persists an `Option<usize>` as `0` = `None`, `i + 1` = `Some(i)` — the
+/// same encoding `ff_visit` uses for port options.
+pub fn persist_opt_usize(v: &mut Option<usize>, p: &mut dyn PersistVisit) {
+    let mut w = v.map_or(0, |x| x as u64 + 1);
+    p.item(&mut w);
+    *v = if w == 0 { None } else { Some((w - 1) as usize) };
+}
+
+/// Persists an in-flight word via [`LinkWord::pack_u64`].
+pub fn persist_word(w: &mut LinkWord, p: &mut dyn PersistVisit) {
+    let mut packed = w.pack_u64();
+    p.item(&mut packed);
+    match LinkWord::unpack_u64(packed) {
+        Some(x) => *w = x,
+        None => p.fail("snapshot item is not a packed link word"),
+    }
+}
+
+/// Persists a maybe-present word; `0` is the empty encoding.
+pub fn persist_opt_word(w: &mut Option<LinkWord>, p: &mut dyn PersistVisit) {
+    let mut packed = w.map_or(0, LinkWord::pack_u64);
+    p.item(&mut packed);
+    *w = LinkWord::unpack_u64(packed);
+}
+
+/// Persists a list of plain `u64` items, resizing on restore.
+pub fn persist_u64_list(v: &mut Vec<u64>, p: &mut dyn PersistVisit) {
+    let n = p.len(v.len());
+    v.resize(n, 0);
+    for x in v.iter_mut() {
+        p.item(x);
+    }
+}
+
+/// Persists a list of 32-bit words (message buffers, payload data),
+/// resizing on restore.
+pub fn persist_u32_list(v: &mut Vec<u32>, p: &mut dyn PersistVisit) {
+    let n = p.len(v.len());
+    v.resize(n, 0);
+    for x in v.iter_mut() {
+        persist_u32(x, p);
+    }
+}
+
+/// Persists a list of `usize` items (the dirty-boundary lists), resizing
+/// on restore.
+pub fn persist_usize_list(v: &mut Vec<usize>, p: &mut dyn PersistVisit) {
+    let n = p.len(v.len());
+    v.resize(n, 0);
+    for x in v.iter_mut() {
+        persist_usize(x, p);
+    }
+}
+
+/// Persists a fixed-capacity ring: length in-stream, then each element
+/// through `each`. On restore the ring is rebuilt from `default` elements
+/// (overwritten by the element walk); a recorded length beyond the ring's
+/// capacity fails the restore — the snapshot was taken on a
+/// differently-configured network.
+pub fn persist_ring<T: Copy>(
+    ring: &mut Ring<T>,
+    default: T,
+    p: &mut dyn PersistVisit,
+    mut each: impl FnMut(&mut T, &mut dyn PersistVisit),
+) {
+    let n = p.len(ring.len());
+    if n != ring.len() {
+        ring.clear();
+        for _ in 0..n {
+            if ring.push_back(default).is_err() {
+                p.fail("snapshot ring contents exceed the target's capacity");
+                return;
+            }
+        }
+    }
+    for i in 0..ring.len() {
+        each(ring.get_mut(i).expect("index in range"), p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::WordClass;
+
+    #[test]
+    fn save_then_load_round_trips_scalars() {
+        struct S {
+            a: u64,
+            b: u32,
+            c: bool,
+            d: Option<usize>,
+        }
+        impl Persist for S {
+            fn persist(&mut self, p: &mut dyn PersistVisit) {
+                p.item(&mut self.a);
+                persist_u32(&mut self.b, p);
+                persist_bool(&mut self.c, p);
+                persist_opt_usize(&mut self.d, p);
+            }
+        }
+        let mut src = S {
+            a: 7,
+            b: 9,
+            c: true,
+            d: Some(3),
+        };
+        let mut saver = StateSaver::new();
+        src.persist(&mut saver);
+        let items = saver.finish().unwrap();
+        let mut dst = S {
+            a: 0,
+            b: 0,
+            c: false,
+            d: None,
+        };
+        let mut loader = StateLoader::new(items);
+        dst.persist(&mut loader);
+        loader.finish().unwrap();
+        assert_eq!((dst.a, dst.b, dst.c, dst.d), (7, 9, true, Some(3)));
+    }
+
+    #[test]
+    fn loader_rejects_underrun_and_leftovers() {
+        let mut loader = StateLoader::new(vec![1]);
+        let mut a = 0u64;
+        let mut b = 0u64;
+        loader.item(&mut a);
+        loader.item(&mut b); // exhausted
+        assert!(loader.finish().is_err());
+
+        let mut loader = StateLoader::new(vec![1, 2]);
+        let mut a = 0u64;
+        loader.item(&mut a);
+        assert!(loader.finish().is_err(), "leftover item must be an error");
+    }
+
+    #[test]
+    fn saver_fail_poisons_the_snapshot() {
+        let mut saver = StateSaver::new();
+        let mut v = 1u64;
+        saver.item(&mut v);
+        saver.fail("component is not persistable");
+        assert!(saver.finish().is_err());
+    }
+
+    #[test]
+    fn word_helpers_round_trip() {
+        let w = LinkWord::header(0xABCD_EF01, WordClass::Guaranteed);
+        let mut state = Some(w);
+        let mut saver = StateSaver::new();
+        persist_opt_word(&mut state, &mut saver);
+        let mut none: Option<LinkWord> = None;
+        persist_opt_word(&mut none, &mut saver);
+        let items = saver.finish().unwrap();
+        let mut loader = StateLoader::new(items);
+        let mut got: Option<LinkWord> = None;
+        let mut got_none = Some(w);
+        persist_opt_word(&mut got, &mut loader);
+        persist_opt_word(&mut got_none, &mut loader);
+        loader.finish().unwrap();
+        assert_eq!(got, Some(w));
+        assert_eq!(got_none, None);
+    }
+
+    #[test]
+    fn ring_resizes_on_restore_and_respects_capacity() {
+        let mut src: Ring<u64> = Ring::with_capacity(4);
+        for v in [10, 20, 30] {
+            src.push_back(v).unwrap();
+        }
+        let mut saver = StateSaver::new();
+        persist_ring(&mut src, 0, &mut saver, |v, p| p.item(v));
+        let items = saver.finish().unwrap();
+
+        let mut dst: Ring<u64> = Ring::with_capacity(4);
+        dst.push_back(99).unwrap();
+        let mut loader = StateLoader::new(items.clone());
+        persist_ring(&mut dst, 0, &mut loader, |v, p| p.item(v));
+        loader.finish().unwrap();
+        assert_eq!(dst.iter().copied().collect::<Vec<_>>(), vec![10, 20, 30]);
+
+        // A snapshot that does not fit the target's capacity must fail,
+        // not truncate.
+        let mut tiny: Ring<u64> = Ring::with_capacity(2);
+        let mut loader = StateLoader::new(items);
+        persist_ring(&mut tiny, 0, &mut loader, |v, p| p.item(v));
+        assert!(loader.finish().is_err());
+    }
+}

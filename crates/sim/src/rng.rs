@@ -83,6 +83,15 @@ impl Rng64 {
     }
 }
 
+impl crate::persist::Persist for Rng64 {
+    /// The generator's entire dynamic state is its 64-bit SplitMix64
+    /// counter; persisting it makes restored traffic sources continue the
+    /// exact sequence the snapshot interrupted.
+    fn persist(&mut self, p: &mut dyn crate::persist::PersistVisit) {
+        p.item(&mut self.state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -304,6 +304,50 @@ impl Router {
         v.counter(&mut self.gt_orphans);
     }
 
+    /// Walks the router's complete dynamic state through the persistence
+    /// visitor (see [`crate::persist`]): the snapshot twin of
+    /// [`Router::ff_visit`], field for field, plus the ready-output mask
+    /// (cheap to carry, and carrying it keeps the walk a pure field list
+    /// with nothing to re-derive).
+    fn persist_walk(&mut self, p: &mut dyn crate::persist::PersistVisit) {
+        use crate::persist::{
+            persist_opt_usize, persist_opt_word, persist_ring, persist_u32, persist_usize,
+            persist_word,
+        };
+        let empty = LinkWord::header_only(0, WordClass::BestEffort);
+        let opt_port = |o: &mut Option<PortIdx>, p: &mut dyn crate::persist::PersistVisit| {
+            let mut wide = o.map(usize::from);
+            persist_opt_usize(&mut wide, p);
+            *o = wide.map(|x| x as PortIdx);
+        };
+        for i in 0..self.n_ports {
+            persist_ring(&mut self.be_q[i], empty, p, |w, p| persist_word(w, p));
+            opt_port(&mut self.be_route[i], p);
+            opt_port(&mut self.gt_route[i], p);
+            persist_opt_word(&mut self.gt_hold[i], p);
+            p.item(&mut self.gt_pad[i]);
+            persist_ring(
+                &mut self.gt_cal[i],
+                GtEvent {
+                    due: 0,
+                    word: empty,
+                },
+                p,
+                |ev, p| {
+                    p.item(&mut ev.due);
+                    persist_word(&mut ev.word, p);
+                },
+            );
+            persist_opt_usize(&mut self.be_owner[i], p);
+            persist_usize(&mut self.rr[i], p);
+            persist_u32(&mut self.out_credits[i], p);
+        }
+        p.item(&mut self.gt_mask);
+        p.item(&mut self.gt_conflicts);
+        p.item(&mut self.be_overflows);
+        p.item(&mut self.gt_orphans);
+    }
+
     /// Installs the next route segment of a continuation word into a held
     /// exhausted header: the rewritten header keeps the held word's upper
     /// (credits/flush/qid) bits, takes its first hop from the continuation
@@ -577,6 +621,12 @@ impl Router {
                 }
             }
         }
+    }
+}
+
+impl crate::persist::Persist for Router {
+    fn persist(&mut self, p: &mut dyn crate::persist::PersistVisit) {
+        self.persist_walk(p);
     }
 }
 

@@ -682,6 +682,83 @@ impl<S: SyncFamily> WireRing<S> {
     pub fn rebase(&self, start: u64) {
         self.published.store(start, Ordering::Relaxed);
     }
+
+    /// Unconsumed slots as `(due, packed word, credits)` triples, in due
+    /// order — the ring's entire dynamic state besides the watermark.
+    pub fn occupied_slots(&self) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s.stamp.load(Ordering::Relaxed) {
+                0 => None,
+                stamp => Some((
+                    stamp - 1,
+                    s.word.load(Ordering::Relaxed),
+                    s.credits.load(Ordering::Relaxed),
+                )),
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Empties every slot (the restore entry point; the watermark is left
+    /// untouched — re-derive it with [`WireRing::rebase`]).
+    pub fn clear_slots(&self) {
+        for s in &self.slots {
+            s.word.store(EMPTY_WORD, Ordering::Relaxed);
+            s.credits.store(0, Ordering::Relaxed);
+            s.stamp.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-places one unconsumed due cycle into the ring at its home index
+    /// `due & (RING_SLOTS - 1)` — the index is a function of the due
+    /// cycle, **not** of the slot's position in any earlier run, which is
+    /// exactly why restore must route through this instead of writing
+    /// slots in order. Returns `false` (leaving the ring unchanged) if
+    /// that home slot already holds another due cycle.
+    pub fn restore_slot(&self, due: u64, word: u64, credits: u64) -> bool {
+        let slot = self.slot(due);
+        if slot.stamp.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
+        slot.word.store(word, Ordering::Relaxed);
+        slot.credits.store(credits, Ordering::Relaxed);
+        slot.stamp.store(due + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Persists the ring's unconsumed traffic through the audited walk:
+    /// a length (occupied slot count) followed by one
+    /// `(due, packed word, credits)` triple per slot, in due order. The
+    /// walk always clears and re-places the slots — a save rewrites the
+    /// values it just read (a no-op), a load re-derives every slot's home
+    /// index from its restored due cycle. The published watermark is
+    /// deliberately **not** part of the walk: it is meaningless between
+    /// runner spans and must be re-derived from the restored cycle via
+    /// [`WireRing::rebase`].
+    pub fn persist_slots(&self, p: &mut dyn crate::persist::PersistVisit) {
+        let mut entries = self.occupied_slots();
+        let n = p.len(entries.len());
+        if n > RING_SLOTS {
+            p.fail("snapshot carries more ring slots than RING_SLOTS");
+            return;
+        }
+        entries.resize(n, (0, 0, 0));
+        for e in &mut entries {
+            p.item(&mut e.0);
+            p.item(&mut e.1);
+            p.item(&mut e.2);
+        }
+        self.clear_slots();
+        for &(due, word, credits) in &entries {
+            if !self.restore_slot(due, word, credits) {
+                p.fail("snapshot ring slots alias the same home index");
+                return;
+            }
+        }
+    }
 }
 
 /// The preallocated exchange arena of one split: one cache-line-padded
@@ -1363,6 +1440,44 @@ impl ShardRunner {
     }
 }
 
+impl crate::persist::Persist for ShardRunner {
+    /// One audited walk over the runner's dynamic state: the global
+    /// cycle, the batch size, then every arena ring's unconsumed slots
+    /// (see [`WireRing::persist_slots`]).
+    ///
+    /// Two pieces of ring state are **re-derived** from the restored
+    /// cycle rather than carried in the snapshot, because both are
+    /// functions of global time, not of history: each ring's published
+    /// watermark is rebased to the restored cycle (a stale watermark
+    /// would let a parallel consumer absorb cycles the restored producer
+    /// has not re-emitted), and each slot's home index is recomputed as
+    /// `due & (RING_SLOTS - 1)` inside [`WireRing::restore_slot`] (a
+    /// positional copy would strand mid-epoch traffic in the wrong slot
+    /// and trip the due-cycle assertions).
+    ///
+    /// The scheduler bookkeeping — activity-set membership, wake
+    /// horizons, the fast-forward retry rate-limiter — is **reset**, not
+    /// carried: sleep decisions happen at epoch boundaries and offer
+    /// windows are clipped at each `run()` call's end, so two
+    /// bit-identical executions interrupted at different points
+    /// legitimately disagree on all three (pinned by the batched parity
+    /// tests). Regions are always caught up to the global cycle between
+    /// runs, so waking everyone is exact — quiescent regions re-sleep at
+    /// the next epoch boundary. The same class as a FIFO's visibility
+    /// cache.
+    fn persist(&mut self, p: &mut dyn crate::persist::PersistVisit) {
+        p.item(&mut self.cycle);
+        p.item(&mut self.batch);
+        for r in self.arena.rings() {
+            r.0.persist_slots(p);
+        }
+        self.awake.fill(true);
+        self.wake_at.fill(0);
+        self.ff_cooldown_until = 0;
+        self.arena.rebase(self.cycle);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1780,6 +1895,74 @@ mod tests {
         ring.rebase(20);
         ring.publish(20);
         ring.wait_published(20);
+    }
+
+    #[test]
+    fn ring_persist_slots_round_trips_and_saving_is_a_noop() {
+        use crate::persist::{StateLoader, StateSaver};
+        let ring: WireRing = WireRing::new(0);
+        let w = LinkWord::header_only(7, WordClass::BestEffort);
+        ring.send_word(5, w);
+        ring.send_credits(6, 3);
+
+        let mut saver = StateSaver::new();
+        ring.persist_slots(&mut saver);
+        let items = saver.finish().unwrap();
+        // Saving rewrote the same slots in place — the ring is unchanged.
+        assert_eq!(ring.occupied(), 2);
+        assert_eq!(ring.take_due(5), Some((Some(w), 0)));
+
+        // Restore into a fresh ring: traffic re-homes at its due cycles.
+        let fresh: WireRing = WireRing::new(0);
+        let mut loader = StateLoader::new(items);
+        fresh.persist_slots(&mut loader);
+        loader.finish().unwrap();
+        assert_eq!(fresh.occupied(), 2);
+        assert_eq!(fresh.take_due(5), Some((Some(w), 0)));
+        assert_eq!(fresh.take_due(6), Some((None, 3)));
+        assert!(fresh.is_silent());
+    }
+
+    #[test]
+    fn ring_restore_slot_rehomes_by_due_cycle_not_position() {
+        // A slot due at a large cycle must land at `due & (RING_SLOTS-1)`,
+        // not at index 0 — a positional restore would make `take_due` at
+        // the due cycle miss it (slot(1337) != slot(0)).
+        let ring: WireRing = WireRing::new(0);
+        let w = LinkWord::header_only(9, WordClass::Guaranteed);
+        assert!(ring.restore_slot(1337, w.pack_u64(), 2));
+        assert!(ring.has_due(1337));
+        assert!(!ring.has_due(1336));
+        assert_eq!(ring.take_due(1337), Some((Some(w), 2)));
+        assert!(ring.is_silent());
+    }
+
+    #[test]
+    fn ring_restore_slot_rejects_home_index_aliasing() {
+        let ring: WireRing = WireRing::new(0);
+        assert!(ring.restore_slot(2, 0, 1));
+        // Same home slot (2 and 2 + RING_SLOTS share an index): refused,
+        // original occupant untouched.
+        assert!(!ring.restore_slot(2 + RING_SLOTS as u64, 0, 9));
+        assert_eq!(ring.take_due(2), Some((None, 1)));
+    }
+
+    #[test]
+    fn ring_persist_rejects_oversized_and_aliasing_snapshots() {
+        use crate::persist::StateLoader;
+        // More slots than the ring holds.
+        let mut items = vec![0u64; 1 + 3 * (RING_SLOTS + 1)];
+        items[0] = (RING_SLOTS + 1) as u64;
+        let ring: WireRing = WireRing::new(0);
+        let mut loader = StateLoader::new(items);
+        ring.persist_slots(&mut loader);
+        assert!(loader.finish().is_err());
+        // Two entries sharing a home index.
+        let items = vec![2, 1, 0, 0, 1 + RING_SLOTS as u64, 0, 0];
+        let ring: WireRing = WireRing::new(0);
+        let mut loader = StateLoader::new(items);
+        ring.persist_slots(&mut loader);
+        assert!(loader.finish().is_err());
     }
 
     #[test]

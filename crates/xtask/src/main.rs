@@ -63,6 +63,36 @@ const CYCLE_LOOP_FILES: &[&str] = &[
     "cfg/src/inspect.rs",
 ];
 
+/// The persistence audit: every struct that owns snapshot-visible dynamic
+/// state, with the field count its `Persist` walk was written against.
+///
+/// The snapshot layer serializes state through audited walks (`fn
+/// persist`) that must visit **every** dynamic field — a field silently
+/// added to one of these structs would restore as garbage. This table
+/// pins each struct's field count; adding a field without deciding its
+/// persistence story (walked, or derived state reset by the walk) fails
+/// `xtask lint`. To clear a finding: extend the struct's `fn persist`
+/// (or its enclosing walk) accordingly, then bump the count here.
+const PERSIST_AUDIT: &[(&str, &str, usize)] = &[
+    ("sim/src/rng.rs", "Rng64", 1),
+    ("sim/src/router.rs", "Router", 16),
+    ("sim/src/noc.rs", "Noc", 15),
+    ("sim/src/shard.rs", "ShardRunner", 12),
+    ("sim/src/shard.rs", "WireSlot", 3),
+    ("core/src/fifo.rs", "HwFifo", 5),
+    ("core/src/message.rs", "MessageAssembler", 6),
+    ("core/src/kernel/channel.rs", "Channel", 15),
+    ("core/src/kernel/sched.rs", "ArbState", 2),
+    ("core/src/kernel/mod.rs", "NiKernel", 10),
+    ("core/src/kernel/mod.rs", "CnipState", 3),
+    ("core/src/shell/master.rs", "MasterStack", 12),
+    ("core/src/shell/slave.rs", "SlaveStack", 10),
+    ("core/src/shell/config.rs", "ConfigStack", 9),
+    ("core/src/transaction.rs", "Transaction", 6),
+    ("core/src/transaction.rs", "TransactionResponse", 3),
+    ("core/src/ni.rs", "Ni", 3),
+];
+
 struct Finding {
     file: PathBuf,
     line: usize,
@@ -88,14 +118,48 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint") => lint(),
         Some("bench-diff") => bench_diff::run(&mut args),
+        Some("regen-goldens") => regen_goldens(),
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint | bench-diff <old.json> <new.json> [--threshold X]   (got {:?})",
+                "usage: cargo run -p xtask -- lint | regen-goldens | bench-diff <old.json> <new.json> [--threshold X]   (got {:?})",
                 other.unwrap_or("<none>")
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Rewrites the golden-state snapshot corpus by rerunning the
+/// `snapshot_golden` tests with `REGEN_GOLDENS=1` (each test then writes
+/// its scenario's snapshot to `crates/facade/tests/goldens/` instead of
+/// comparing against it), then immediately reruns them in compare mode so
+/// a non-deterministic scenario cannot silently bake in an unstable
+/// baseline.
+fn regen_goldens() -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let args = ["test", "-p", "aethereal", "--test", "snapshot_golden"];
+    for (label, regen) in [("regenerate", true), ("verify", false)] {
+        let mut cmd = std::process::Command::new(&cargo);
+        cmd.args(args).current_dir(repo_root());
+        if regen {
+            cmd.env("REGEN_GOLDENS", "1");
+        } else {
+            cmd.env_remove("REGEN_GOLDENS");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("regen-goldens: {label} run failed ({status})");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("regen-goldens: cannot spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("regen-goldens: corpus rewritten and verified");
+    ExitCode::SUCCESS
 }
 
 fn lint() -> ExitCode {
@@ -127,6 +191,7 @@ fn lint() -> ExitCode {
             scan_file(&name, &file, &text, &mut findings);
         }
     }
+    persist_audit(&crates_dir, &mut findings);
     if findings.is_empty() {
         println!("xtask lint: clean ({} crates scanned)", crates.len());
         ExitCode::SUCCESS
@@ -179,6 +244,132 @@ fn check_crate_root(src: &Path, findings: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// Cross-checks every [`PERSIST_AUDIT`] entry: the struct must still
+/// exist, its file must still contain a persist walk, and its field count
+/// must match the count the walk was audited against.
+fn persist_audit(crates_dir: &Path, findings: &mut Vec<Finding>) {
+    for &(rel, name, expected) in PERSIST_AUDIT {
+        let path = crates_dir.join(rel);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                findings.push(Finding {
+                    file: path,
+                    line: 1,
+                    rule: "persist-audit",
+                    detail: format!("cannot read audited file: {e}"),
+                });
+                continue;
+            }
+        };
+        if !text.contains("fn persist") {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 1,
+                rule: "persist-audit",
+                detail: format!("file holds audited struct {name} but no persist walk"),
+            });
+        }
+        match count_struct_fields(&text, name) {
+            Some((line, got)) if got != expected => findings.push(Finding {
+                file: path,
+                line,
+                rule: "persist-audit",
+                detail: format!(
+                    "struct {name} has {got} fields, persist audit expects {expected}: \
+                     a changed field set must be reflected in the Persist walk \
+                     (serialize it, or reset it as derived state) and in \
+                     PERSIST_AUDIT in crates/xtask/src/main.rs"
+                ),
+            }),
+            None => findings.push(Finding {
+                file: path,
+                line: 1,
+                rule: "persist-audit",
+                detail: format!("audited struct {name} not found (moved? update PERSIST_AUDIT)"),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Finds `struct <name>` in `text` and counts its fields: lines at body
+/// depth whose first token (after visibility) is an identifier followed
+/// by a single `:`. Returns `(declaration line, field count)`.
+fn count_struct_fields(text: &str, name: &str) -> Option<(usize, usize)> {
+    let mut lines = text.lines().enumerate();
+    let decl_line = loop {
+        let (idx, raw) = lines.next()?;
+        let line = strip_comment(raw).trim().to_string();
+        let is_decl = ["pub struct ", "pub(crate) struct ", "struct "]
+            .iter()
+            .filter_map(|p| line.strip_prefix(p))
+            .any(|rest| {
+                rest.starts_with(name)
+                    && !rest[name.len()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            });
+        if is_decl {
+            break idx + 1;
+        }
+    };
+    let mut depth: i32 = 0;
+    let mut seen_open = false;
+    let mut fields = 0usize;
+    for raw in text.lines().skip(decl_line - 1) {
+        let line = strip_comment(raw);
+        if seen_open && depth == 1 && is_field_line(line.trim()) {
+            fields += 1;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if seen_open && depth == 0 {
+                        return Some((decl_line, fields));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `struct Foo;` / tuple struct: no brace body before the `;`.
+        if !seen_open && line.contains(';') {
+            return Some((decl_line, 0));
+        }
+    }
+    None
+}
+
+/// Whether a struct-body line declares a field: its first token (after
+/// optional visibility) is an identifier followed by exactly one `:`.
+fn is_field_line(trimmed: &str) -> bool {
+    if trimmed.is_empty() || trimmed.starts_with("#[") {
+        return false;
+    }
+    let mut rest = trimmed;
+    for vis in ["pub(crate) ", "pub(super) ", "pub "] {
+        if let Some(r) = rest.strip_prefix(vis) {
+            rest = r;
+            break;
+        }
+    }
+    let ident_len = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .count();
+    if ident_len == 0 {
+        return false;
+    }
+    let after = &rest[ident_len..];
+    after.starts_with(':') && !after.starts_with("::")
 }
 
 /// Line scanner with just enough state to know (a) whether we are inside
