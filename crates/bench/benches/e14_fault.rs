@@ -1,0 +1,151 @@
+//! E14 — fault-injection overhead and self-healing latency.
+//!
+//! No counterpart in the paper: this experiment prices the robustness
+//! layer added on top of the model. Two questions:
+//!
+//! 1. **Armed-hook overhead.** Arming a fault plan moves the hot path
+//!    from `fault: None` to a per-cycle window check. With an *empty*
+//!    plan (or one whose windows are all in the future) that check must
+//!    be a single comparison — the derived
+//!    `fault_armed_empty_overhead` ratio (armed-idle over unarmed, 8x8
+//!    uniform mesh) is the budgeted ≤ 1.02 from the PR 10 acceptance
+//!    criteria. An actively dropping storm is also measured for context.
+//! 2. **Heal latency.** `RuntimeConfigurator::heal` closes the
+//!    connections crossing a failed link, masks it, re-plans and reopens
+//!    — all over CNIP messages through the (degraded) NoC itself. The
+//!    derived `heal_*` metrics report the cycles of configuration
+//!    traffic and the wall-clock per heal for a BE and a GT connection
+//!    crossing one masked mesh link.
+
+use std::time::Instant;
+
+use aethereal_bench::harness::Criterion;
+use aethereal_bench::{criterion_group, criterion_main, stream_mesh, MeshTraffic};
+use aethereal_cfg::runtime::{ChannelEnd, ConnectionRequest, Service};
+use aethereal_cfg::{
+    presets, ConnectionHandle, NocSpec, NocSystem, RuntimeConfigurator, SlotStrategy, TopologySpec,
+};
+use noc_sim::topology::dir;
+use noc_sim::{FaultPlan, FaultReport, SuspectLink};
+
+fn bench_armed_overhead(c: &mut Criterion) {
+    c.bench_function("mesh8x8_uniform_unarmed_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        b.iter(|| sys.run(1_000));
+    });
+    c.bench_function("mesh8x8_uniform_armed_empty_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        sys.arm_faults(&FaultPlan::new(0xE14));
+        b.iter(|| sys.run(1_000));
+    });
+    c.bench_function("mesh8x8_uniform_armed_storm_1k", |b| {
+        let (mut sys, _, _) = stream_mesh(8, 8, MeshTraffic::Uniform);
+        let mut plan = FaultPlan::new(0xE14);
+        // A permanently-open flaky window on a busy center link: the
+        // per-word injection path stays hot for the whole run.
+        plan.link_flaky(27, dir::EAST, 0, u64::MAX, 50_000);
+        sys.arm_faults(&plan);
+        b.iter(|| sys.run(1_000));
+    });
+    // Ratios are computed over the fastest sample, not the median: the
+    // overhead under test is a couple of percent, well below the noise a
+    // busy host injects into mid-distribution samples.
+    let min_of = |c: &Criterion, name: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.measurement.min_ns)
+    };
+    if let (Some(unarmed), Some(armed)) = (
+        min_of(c, "mesh8x8_uniform_unarmed_1k"),
+        min_of(c, "mesh8x8_uniform_armed_empty_1k"),
+    ) {
+        c.derived("fault_armed_empty_overhead", armed / unarmed);
+    }
+    if let (Some(unarmed), Some(storm)) = (
+        min_of(c, "mesh8x8_uniform_unarmed_1k"),
+        min_of(c, "mesh8x8_uniform_armed_storm_1k"),
+    ) {
+        c.derived("fault_armed_storm_overhead", storm / unarmed);
+    }
+}
+
+/// A 2x2 two-NIs-per-router mesh with one connection NI 1 → NI 6 whose
+/// XY route crosses (router 0, EAST) — the link the heal masks.
+fn heal_scenario(gt: bool) -> (NocSystem, RuntimeConfigurator, ConnectionHandle) {
+    let spec = NocSpec::new(
+        TopologySpec::Mesh {
+            width: 2,
+            height: 2,
+            nis_per_router: 2,
+        },
+        vec![
+            presets::cfg_module_ni(0, 16),
+            presets::raw_ni(1, 1),
+            presets::raw_ni(2, 1),
+            presets::raw_ni(3, 1),
+            presets::raw_ni(4, 1),
+            presets::raw_ni(5, 1),
+            presets::raw_ni(6, 1),
+            presets::raw_ni(7, 1),
+        ],
+    );
+    let mut sys = NocSystem::from_spec(&spec);
+    let mut cfg = RuntimeConfigurator::new(spec.topology.build(), 0, 0, 8);
+    let mut req = ConnectionRequest::best_effort(
+        ChannelEnd { ni: 1, channel: 1 },
+        ChannelEnd { ni: 6, channel: 1 },
+    );
+    if gt {
+        req.fwd = Service::Guaranteed {
+            slots: 2,
+            strategy: SlotStrategy::Spread,
+        };
+    }
+    let handle = cfg.open_connection(&mut sys, &req).expect("open");
+    (sys, cfg, handle)
+}
+
+fn failed_link_report() -> FaultReport {
+    FaultReport {
+        suspects: vec![SuspectLink {
+            event: 0,
+            router: 0,
+            port: dir::EAST,
+            router_wide: false,
+            dropped_words: 12,
+            corrupted_words: 0,
+            lost_credits: 0,
+            active: false,
+        }],
+        ..FaultReport::default()
+    }
+}
+
+fn bench_heal(c: &mut Criterion) {
+    for (tag, gt) in [("be", false), ("gt", true)] {
+        let mut cycles = Vec::new();
+        let mut micros = Vec::new();
+        for _ in 0..9 {
+            let (mut sys, mut cfg, handle) = heal_scenario(gt);
+            let report = failed_link_report();
+            let before = sys.cycle();
+            let start = Instant::now();
+            let outcome = cfg.heal(&mut sys, &report, vec![handle]).expect("heal");
+            micros.push(start.elapsed().as_secs_f64() * 1e6);
+            cycles.push((sys.cycle() - before) as f64);
+            assert_eq!(outcome.reopened, 1, "heal must reopen the connection");
+            assert!(outcome.failed.is_empty());
+        }
+        cycles.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        micros.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        c.derived(
+            &format!("heal_{tag}_latency_cycles"),
+            cycles[cycles.len() / 2],
+        );
+        c.derived(&format!("heal_{tag}_latency_us"), micros[micros.len() / 2]);
+    }
+}
+
+criterion_group!(e14, bench_armed_overhead, bench_heal);
+criterion_main!(e14);

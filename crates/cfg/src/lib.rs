@@ -36,9 +36,11 @@ pub mod spec;
 pub mod system;
 
 pub use report::SystemReport;
-pub use runtime::{ConnectionHandle, ConnectionRequest, RuntimeConfigurator, Service};
+pub use runtime::{
+    ConfigError, ConnectionHandle, ConnectionRequest, HealOutcome, RuntimeConfigurator, Service,
+};
 pub use shard::ShardedSystem;
 pub use slots::{SlotAllocation, SlotAllocator, SlotStrategy};
 pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT};
-pub use spec::{NocSpec, RegionsSpec, TopologySpec};
+pub use spec::{fault_plan_from_json, fault_plan_to_json, NocSpec, RegionsSpec, TopologySpec};
 pub use system::NocSystem;

@@ -26,7 +26,7 @@ use aethereal_ni::kernel::regs::{CTRL_ENABLE, CTRL_GT};
 use aethereal_ni::kernel::{chan_reg_addr, ext_reg_addr, pack_path_rqid, slot_reg_addr, ChanReg};
 use aethereal_ni::shell::config::global_addr;
 use aethereal_ni::transaction::{RespStatus, Transaction};
-use noc_sim::{Route, Topology, SLOT_WORDS};
+use noc_sim::{FaultReport, PortIdx, Route, RouteError, RouterId, Topology, SLOT_WORDS};
 use std::collections::HashMap;
 
 /// One end of a connection: a channel of an NI.
@@ -112,6 +112,11 @@ pub struct ConnectionHandle {
     pub request: ConnectionRequest,
     fwd_alloc: Option<SlotAllocation>,
     rev_alloc: Option<SlotAllocation>,
+    /// Directed router links the request-direction route crosses (the
+    /// NI-injection pseudo link is omitted — it cannot be masked).
+    fwd_links: Vec<(RouterId, PortIdx)>,
+    /// Directed router links the response-direction route crosses.
+    rev_links: Vec<(RouterId, PortIdx)>,
 }
 
 impl ConnectionHandle {
@@ -123,6 +128,25 @@ impl ConnectionHandle {
     /// The reverse (response-direction) slot reservation, if GT.
     pub fn rev_slots(&self) -> Option<&SlotAllocation> {
         self.rev_alloc.as_ref()
+    }
+
+    /// Directed router links of the request-direction route.
+    pub fn fwd_links(&self) -> &[(RouterId, PortIdx)] {
+        &self.fwd_links
+    }
+
+    /// Directed router links of the response-direction route.
+    pub fn rev_links(&self) -> &[(RouterId, PortIdx)] {
+        &self.rev_links
+    }
+
+    /// Whether either direction of the connection crosses a link that is
+    /// masked in `topo` — i.e. the connection needs rerouting after a heal.
+    pub fn crosses_mask(&self, topo: &Topology) -> bool {
+        self.fwd_links
+            .iter()
+            .chain(&self.rev_links)
+            .any(|&(r, p)| topo.is_masked(r, p))
     }
 }
 
@@ -150,6 +174,9 @@ pub struct ConfigStats {
 /// Configuration failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
+    /// No usable route between the endpoints — after a heal this means the
+    /// link mask has disconnected them.
+    Route(RouteError),
     /// Slot allocation failed.
     Slots(SlotError),
     /// No acknowledgment within the timeout.
@@ -174,6 +201,7 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ConfigError::Route(e) => write!(f, "no usable route: {e}"),
             ConfigError::Slots(e) => write!(f, "slot allocation failed: {e}"),
             ConfigError::Timeout => write!(f, "configuration acknowledgment timed out"),
             ConfigError::Nack(s) => write!(f, "remote CNIP rejected the operation: {s}"),
@@ -200,6 +228,12 @@ impl std::error::Error for ConfigError {}
 impl From<SlotError> for ConfigError {
     fn from(e: SlotError) -> Self {
         ConfigError::Slots(e)
+    }
+}
+
+impl From<RouteError> for ConfigError {
+    fn from(e: RouteError) -> Self {
+        ConfigError::Route(e)
     }
 }
 
@@ -237,6 +271,12 @@ impl RuntimeConfigurator {
     /// Cost counters.
     pub fn stats(&self) -> &ConfigStats {
         &self.stats
+    }
+
+    /// The configurator's view of the topology — including any link mask
+    /// installed by [`RuntimeConfigurator::heal`].
+    pub fn topo(&self) -> &Topology {
+        &self.topo
     }
 
     /// The slot allocator (centralized slot information, §3).
@@ -378,14 +418,8 @@ impl RuntimeConfigurator {
         if target == self.cfg_ni || self.bound.contains_key(&target) {
             return Ok(());
         }
-        let p_fwd = self
-            .topo
-            .route_any(self.cfg_ni, target)
-            .expect("route exists");
-        let p_rev = self
-            .topo
-            .route_any(target, self.cfg_ni)
-            .expect("route exists");
+        let p_fwd = self.topo.route_any(self.cfg_ni, target)?;
+        let p_rev = self.topo.route_any(target, self.cfg_ni)?;
         // Both configuration channels are best-effort message streams;
         // reject undersized packet budgets here rather than letting the
         // acknowledged enable write time out on a starved channel.
@@ -519,14 +553,8 @@ impl RuntimeConfigurator {
     ) -> Result<ConnectionHandle, ConfigError> {
         self.open_config_connection(sys, req.master.ni)?;
         self.open_config_connection(sys, req.slave.ni)?;
-        let p_req = self
-            .topo
-            .route_any(req.master.ni, req.slave.ni)
-            .expect("route exists");
-        let p_resp = self
-            .topo
-            .route_any(req.slave.ni, req.master.ni)
-            .expect("route exists");
+        let p_req = self.topo.route_any(req.master.ni, req.slave.ni)?;
+        let p_resp = self.topo.route_any(req.slave.ni, req.master.ni)?;
         self.budget_check(sys, req.master.ni, &p_req, req.fwd)?;
         self.budget_check(sys, req.slave.ni, &p_resp, req.rev)?;
         let fwd_alloc = match req.fwd {
@@ -592,6 +620,8 @@ impl RuntimeConfigurator {
             request: req.clone(),
             fwd_alloc,
             rev_alloc,
+            fwd_links: router_links(&self.topo, req.master.ni, &p_req),
+            rev_links: router_links(&self.topo, req.slave.ni, &p_resp),
         })
     }
 
@@ -637,4 +667,129 @@ impl RuntimeConfigurator {
         self.stats.connections_closed += 1;
         Ok(())
     }
+
+    /// Rewrites the route registers of one already-open configuration
+    /// connection Cfg ↔ `target` along the current (masked) topology. The
+    /// local request path is rewritten first so the remote rewrite of the
+    /// response path already travels the detour.
+    fn reroute_config_connection(
+        &mut self,
+        sys: &mut NocSystem,
+        target: usize,
+        local: usize,
+    ) -> Result<(), ConfigError> {
+        let p_fwd = self.topo.route_any(self.cfg_ni, target)?;
+        let p_rev = self.topo.route_any(target, self.cfg_ni)?;
+        let cfg_channel = sys.nis[self.cfg_ni].config_mut(self.cfg_port).channels()[local];
+        let target_cnip = sys.nis[target]
+            .kernel
+            .spec()
+            .cnip_channel
+            .expect("bound target NI must expose a CNIP");
+        self.write_route(sys, self.cfg_ni, cfg_channel, &p_fwd, target_cnip as u8)?;
+        self.write_route(sys, target, target_cnip, &p_rev, cfg_channel as u8)?;
+        Ok(())
+    }
+
+    /// Recovers from a [`FaultReport`]: masks every suspect link in the
+    /// configurator's topology, reroutes the Cfg's own configuration
+    /// connections around the mask, then closes and reopens every affected
+    /// user connection (releasing and re-allocating GT slots along the new
+    /// routes).
+    ///
+    /// Best-effort connections degrade gracefully — they simply come back
+    /// on a detour. Guaranteed-throughput connections either re-establish
+    /// with fresh slot reservations or fail loudly: a request that cannot
+    /// be rerouted (endpoints disconnected by the mask, no feasible slots
+    /// on the detour) lands in [`HealOutcome::failed`] with its structured
+    /// [`ConfigError`], and the remaining connections still heal.
+    ///
+    /// The network should be drained (configuration traffic settled, no
+    /// in-flight user worms on the affected routes) when this is called,
+    /// exactly as for any other reconfiguration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the healing *plumbing* fails — a
+    /// configuration connection cannot be rerouted or a close times out.
+    /// Per-connection reopen failures are reported in
+    /// [`HealOutcome::failed`] instead.
+    pub fn heal(
+        &mut self,
+        sys: &mut NocSystem,
+        report: &FaultReport,
+        handles: Vec<ConnectionHandle>,
+    ) -> Result<HealOutcome, ConfigError> {
+        // 1. Fold the report into the planner's link mask.
+        let mut masked = Vec::new();
+        for s in &report.suspects {
+            if s.router_wide {
+                for p in 0..self.topo.ports_of(s.router) {
+                    if !self.topo.is_masked(s.router, p as PortIdx) {
+                        self.topo.mask_link(s.router, p as PortIdx);
+                        masked.push((s.router, p as PortIdx));
+                    }
+                }
+            } else if !self.topo.is_masked(s.router, s.port) {
+                self.topo.mask_link(s.router, s.port);
+                masked.push((s.router, s.port));
+            }
+        }
+        // 2. Reroute the configuration connections first: every remote
+        // register write below must already take the detour. Sorted for a
+        // deterministic write order.
+        let mut bound: Vec<(usize, usize)> = self.bound.iter().map(|(&t, &l)| (t, l)).collect();
+        bound.sort_unstable();
+        for (target, local) in bound {
+            self.reroute_config_connection(sys, target, local)?;
+        }
+        // 3. Re-establish every user connection that crosses the mask.
+        let mut outcome = HealOutcome {
+            healthy: Vec::with_capacity(handles.len()),
+            failed: Vec::new(),
+            masked,
+            reopened: 0,
+        };
+        for h in handles {
+            if !h.crosses_mask(&self.topo) {
+                outcome.healthy.push(h);
+                continue;
+            }
+            self.close_connection(sys, &h)?;
+            match self.open_connection(sys, &h.request) {
+                Ok(nh) => {
+                    outcome.reopened += 1;
+                    outcome.healthy.push(nh);
+                }
+                Err(e) => outcome.failed.push((h.request, e)),
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// What [`RuntimeConfigurator::heal`] did.
+#[derive(Debug)]
+pub struct HealOutcome {
+    /// Every connection that is open after healing: untouched handles plus
+    /// the fresh handles of rerouted connections.
+    pub healthy: Vec<ConnectionHandle>,
+    /// Connections that could not be re-established, with the structured
+    /// error (disconnected endpoints, no feasible GT slots on the detour,
+    /// …). These are closed.
+    pub failed: Vec<(ConnectionRequest, ConfigError)>,
+    /// Directed links newly masked by this heal.
+    pub masked: Vec<(RouterId, PortIdx)>,
+    /// Connections closed and reopened around the mask.
+    pub reopened: usize,
+}
+
+/// The directed router links of `route` from NI `from`, with the
+/// unmaskable NI-injection pseudo link filtered out.
+fn router_links(topo: &Topology, from: usize, route: &Route) -> Vec<(RouterId, PortIdx)> {
+    topo.links_of_route_segmented(from, route)
+        .into_iter()
+        .filter(|l| l.router != usize::MAX)
+        .map(|l| (l.router, l.port))
+        .collect()
 }

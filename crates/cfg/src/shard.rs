@@ -292,6 +292,45 @@ impl ShardedSystem {
         self.regions.iter().all(NocSystem::all_ips_done)
     }
 
+    // ---- Fault injection ------------------------------------------------
+
+    /// Arms `plan` across all shards: each region receives exactly the
+    /// events whose router it owns, keyed by *global* router id, so the
+    /// fault timeline is bit-identical to arming the unsplit system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if faults are already armed in any region.
+    pub fn arm_faults(&mut self, plan: &noc_sim::FaultPlan) {
+        for (s, region) in self.regions.iter_mut().enumerate() {
+            region.noc.arm_faults_for(plan, &self.routers[s]);
+        }
+    }
+
+    /// Disarms fault injection in every region.
+    pub fn disarm_faults(&mut self) {
+        for region in &mut self.regions {
+            region.noc.disarm_faults();
+        }
+    }
+
+    /// Whether any region has a fault plan armed.
+    pub fn fault_armed(&self) -> bool {
+        self.regions.iter().any(|r| r.noc.fault_armed())
+    }
+
+    /// Merged [`FaultReport`](noc_sim::FaultReport) across all shards, in
+    /// global router ids — shard-count independent because every router
+    /// (and hence every armed event and GT watchdog counter) lives in
+    /// exactly one region.
+    pub fn fault_report(&self) -> noc_sim::FaultReport {
+        let mut merged = noc_sim::FaultReport::default();
+        for region in &self.regions {
+            merged.merge(&region.fault_report());
+        }
+        merged
+    }
+
     /// Typed access to the master IP bound at `(global ni, port)`.
     ///
     /// # Panics

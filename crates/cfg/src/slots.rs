@@ -153,6 +153,16 @@ impl SlotAllocator {
             .map_or(0, |m| m.count_ones() as usize)
     }
 
+    /// Total reserved slots across every link — zero exactly when every
+    /// allocation has been freed (occupancy entries may linger with an
+    /// empty mask; they carry no reservation).
+    pub fn total_reserved(&self) -> usize {
+        self.occupancy
+            .values()
+            .map(|m| m.count_ones() as usize)
+            .sum()
+    }
+
     fn links_of(topo: &Topology, from: NiId, path: &Path) -> Vec<(LinkKey, u32)> {
         topo.links_of_route(from, path)
             .into_iter()

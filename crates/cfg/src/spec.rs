@@ -15,7 +15,7 @@ use aethereal_ni::ni::{NiSpec, PortStackSpec};
 use aethereal_ni::shell::{AddrRange, ConnSelect};
 use noc_sim::shard::{Partition, PartitionError};
 use noc_sim::topology::RegionError;
-use noc_sim::{NocConfig, Regions, Topology};
+use noc_sim::{FaultEvent, FaultKind, FaultPlan, NocConfig, Regions, Topology};
 
 /// Topology description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -640,6 +640,96 @@ fn conn_from_value(v: &Value) -> Result<ConnSelect, JsonError> {
     }
 }
 
+// ---- Fault plan persistence ----------------------------------------------
+
+/// Serializes a [`FaultPlan`] to JSON — fault campaigns are part of an
+/// experiment's design-time description, exactly like the spec itself.
+pub fn fault_plan_to_json(plan: &FaultPlan) -> String {
+    json::to_string_pretty(&Value::obj(vec![
+        ("seed", Value::Num(plan.seed())),
+        (
+            "events",
+            Value::Arr(plan.events().iter().map(fault_event_to_value).collect()),
+        ),
+    ]))
+}
+
+/// Parses a [`FaultPlan`] from its JSON form.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed input, unknown kinds, or
+/// out-of-range values (ports beyond `u8`, inverted windows).
+pub fn fault_plan_from_json(input: &str) -> Result<FaultPlan, JsonError> {
+    let v = json::parse(input)?;
+    let events = v
+        .get("events")?
+        .as_arr()?
+        .iter()
+        .map(fault_event_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FaultPlan::from_parts(v.get("seed")?.as_u64()?, events))
+}
+
+fn fault_event_to_value(e: &FaultEvent) -> Value {
+    let kind = match e.kind {
+        FaultKind::LinkStuck => Value::Str("LinkStuck".into()),
+        FaultKind::LinkFlaky { drop_ppm } => Value::obj(vec![(
+            "LinkFlaky",
+            Value::obj(vec![("drop_ppm", Value::Num(u64::from(drop_ppm)))]),
+        )]),
+        FaultKind::RouterStall => Value::Str("RouterStall".into()),
+        FaultKind::CreditLoss { max } => Value::obj(vec![(
+            "CreditLoss",
+            Value::obj(vec![("max", Value::Num(u64::from(max)))]),
+        )]),
+        FaultKind::SlotCorrupt { xor } => Value::obj(vec![(
+            "SlotCorrupt",
+            Value::obj(vec![("xor", Value::Num(u64::from(xor)))]),
+        )]),
+    };
+    Value::obj(vec![
+        ("kind", kind),
+        ("router", Value::Num(e.router as u64)),
+        ("port", Value::Num(u64::from(e.port))),
+        ("from", Value::Num(e.from)),
+        ("until", Value::Num(e.until)),
+    ])
+}
+
+fn fault_event_from_value(v: &Value) -> Result<FaultEvent, JsonError> {
+    let kind = match v.get("kind")?.as_variant()? {
+        ("LinkStuck", None) => FaultKind::LinkStuck,
+        ("LinkFlaky", Some(b)) => FaultKind::LinkFlaky {
+            drop_ppm: b.get("drop_ppm")?.as_u32()?,
+        },
+        ("RouterStall", None) => FaultKind::RouterStall,
+        ("CreditLoss", Some(b)) => FaultKind::CreditLoss {
+            max: b.get("max")?.as_u32()?,
+        },
+        ("SlotCorrupt", Some(b)) => FaultKind::SlotCorrupt {
+            xor: b.get("xor")?.as_u32()?,
+        },
+        (tag, _) => return Err(JsonError::new(format!("unknown fault kind `{tag}`"))),
+    };
+    let port_raw = v.get("port")?.as_u64()?;
+    let port = u8::try_from(port_raw)
+        .map_err(|_| JsonError::new(format!("port {port_raw} does not fit a port index")))?;
+    let (from, until) = (v.get("from")?.as_u64()?, v.get("until")?.as_u64()?);
+    if until < from {
+        return Err(JsonError::new(format!(
+            "inverted fault window [{from}, {until})"
+        )));
+    }
+    Ok(FaultEvent {
+        kind,
+        router: v.get("router")?.as_usize()?,
+        port,
+        from,
+        until,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,6 +887,29 @@ mod tests {
             gateways: vec![0, 0],
         });
         assert!(matches!(bad_gateway.validate(), Err(SpecError::Regions(_))));
+    }
+
+    #[test]
+    fn fault_plan_round_trips_and_rejects_bad_input() {
+        let mut plan = FaultPlan::new(0xFEED);
+        plan.link_stuck(1, 2, 100, 200)
+            .link_flaky(0, 1, 50, 400, 250_000)
+            .router_stall(3, 0, 10)
+            .credit_loss(2, 0, 5, 25, 7)
+            .slot_corrupt(1, 4, 300, 301, 0xA5A5_5A5A);
+        let text = fault_plan_to_json(&plan);
+        let back = fault_plan_from_json(&text).expect("round trip");
+        assert_eq!(back, plan);
+
+        // Structured rejection, never a panic.
+        assert!(fault_plan_from_json("{").is_err());
+        assert!(fault_plan_from_json("{\"seed\":1}").is_err());
+        let bad_port = text.replace("\"port\": 2", "\"port\": 999");
+        assert!(fault_plan_from_json(&bad_port).is_err());
+        let inverted = text.replace("\"until\": 200", "\"until\": 3");
+        assert!(fault_plan_from_json(&inverted).is_err());
+        let unknown = text.replace("LinkStuck", "LinkGlitch");
+        assert!(fault_plan_from_json(&unknown).is_err());
     }
 
     #[test]

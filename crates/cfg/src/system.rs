@@ -224,6 +224,43 @@ impl NocSystem {
         Engine::tick(self);
     }
 
+    // ---- Fault injection & detection (see `noc_sim::fault`) -----------
+
+    /// Arms a deterministic fault plan on the network (see
+    /// [`Noc::arm_faults`]). While armed — even after every window expires
+    /// — the system never fast-forwards: probabilistic drops are invisible
+    /// to the periodicity digests, so certification is conservatively
+    /// declined until [`NocSystem::disarm_faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already armed.
+    pub fn arm_faults(&mut self, plan: &noc_sim::FaultPlan) {
+        self.noc.arm_faults(plan);
+    }
+
+    /// Drops the armed fault machinery, restoring the fault-free hot path
+    /// and fast-forward eligibility.
+    pub fn disarm_faults(&mut self) {
+        self.noc.disarm_faults();
+    }
+
+    /// Whether fault machinery is armed.
+    pub fn fault_armed(&self) -> bool {
+        self.noc.fault_armed()
+    }
+
+    /// The detection report: the network's suspect links and GT watchdog
+    /// counters ([`Noc::fault_report`]) plus the NIs' destination-side
+    /// drop counters — everything
+    /// [`RuntimeConfigurator::heal`](crate::runtime::RuntimeConfigurator::heal)
+    /// needs to re-plan around the failures.
+    pub fn fault_report(&self) -> noc_sim::FaultReport {
+        let mut report = self.noc.fault_report();
+        report.ni_rx_drops = self.nis.iter().map(|ni| ni.kernel.stats().rx_drops).sum();
+        report
+    }
+
     /// Runs `n` cycles — through [`Engine::run_ff`] when the fast-forward
     /// backend is enabled ([`NocSystem::set_fast_forward`], or the spec's
     /// `fast_forward` flag), through plain [`Engine::run`] (with its
@@ -266,7 +303,8 @@ impl NocSystem {
     /// shell activity, any threshold/flush/CNIP state declines — the
     /// fallback is always cycle-accurate ticking.
     fn ff_eligible(&self) -> bool {
-        self.masters.is_empty()
+        !self.noc.fault_armed()
+            && self.masters.is_empty()
             && self.slaves.is_empty()
             && self.noc.be_quiet()
             && self.nis.iter().all(Ni::ff_ready)
@@ -522,7 +560,11 @@ impl ShardRegion for NocSystem {
     /// would be lost. With both gates passed, the single-system backend
     /// applies unchanged.
     fn fast_forward_region(&mut self, max: u64) -> FfOutcome {
-        if !self.ff_enabled || !self.noc.boundaries_silent() || !self.ff_routes_local() {
+        if !self.ff_enabled
+            || self.noc.fault_armed()
+            || !self.noc.boundaries_silent()
+            || !self.ff_routes_local()
+        {
             return FfOutcome::DECLINED;
         }
         self.fast_forward(max)

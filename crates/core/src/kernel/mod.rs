@@ -148,8 +148,12 @@ pub struct NiKernelStats {
     pub gt_slots_unused: u64,
     /// Register operations executed through the CNIP.
     pub cnip_ops: u64,
-    /// Words dropped because they addressed a disabled or unknown queue
-    /// (must stay zero in a correctly configured NoC).
+    /// Words dropped at the destination: they addressed a disabled or
+    /// unknown queue, or arrived at a full destination queue in violation
+    /// of end-to-end flow control. Must stay zero in a correctly
+    /// configured, fault-free NoC; under fault injection (corrupted
+    /// headers, lost credits) this is the NI-visible health counter the
+    /// fault report aggregates.
     pub rx_drops: u64,
 }
 
@@ -427,14 +431,19 @@ impl NiKernel {
                     self.stats.rx_drops += 1;
                     continue;
                 };
-                // End-to-end flow control guarantees destination space; a
-                // full queue here means the remote Space counter was
-                // misconfigured.
-                self.channels[ch]
-                    .dst_q
-                    .push(w.word(), _cycle)
-                    .expect("end-to-end credits must prevent destination overflow");
-                self.channels[ch].stats.words_rx += 1;
+                // End-to-end flow control guarantees destination space in a
+                // correctly configured NoC; a full queue here means the
+                // remote Space counter was misconfigured — or flow control
+                // itself was violated by an injected fault (a corrupted
+                // header crediting the wrong queue, lost credit words).
+                // Surface it as an observable drop rather than tearing the
+                // whole simulation down: `rx_drops` is the NI-visible
+                // health counter the fault report aggregates.
+                if self.channels[ch].dst_q.push(w.word(), _cycle).is_ok() {
+                    self.channels[ch].stats.words_rx += 1;
+                } else {
+                    self.stats.rx_drops += 1;
+                }
                 if w.is_tail() {
                     self.rx_cur[class] = None;
                 }

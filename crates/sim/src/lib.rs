@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod ff;
 pub mod header;
 pub mod link;
@@ -73,6 +74,7 @@ pub mod topology;
 pub mod word;
 
 pub use engine::{ClockDomain, Clocked, ClockedWith, Engine};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, FaultState, SuspectLink};
 pub use ff::{FastForwardable, FfOutcome, FfStats, FfVisit};
 pub use header::PacketHeader;
 pub use link::{LinkId, LinkState};
@@ -86,6 +88,6 @@ pub use shard::{NocShard, Partition, ShardRegion, ShardRunner};
 pub use stats::{LinkStats, NocStats};
 pub use sync::{StdSync, SyncFamily};
 pub use topology::{
-    Endpoint, NiId, RegionError, Regions, RouteLink, RouterId, Topology, TopologyKind,
+    Endpoint, NiId, RegionError, Regions, RouteError, RouteLink, RouterId, Topology, TopologyKind,
 };
 pub use word::{LinkWord, Word, WordClass, FLIT_WORDS, SLOT_WORDS};

@@ -154,6 +154,11 @@ pub struct Noc {
     /// Reusable per-tick scratch (cleared every cycle): keeps the
     /// steady-state tick free of allocations.
     scratch: TickScratch,
+    /// Armed fault-injection machinery (see [`crate::fault`]): when
+    /// present, the emit phase filters each router's emissions and BE
+    /// credit returns through the active fault windows. `None` (the
+    /// default) keeps the hot path untouched.
+    fault: Option<crate::fault::FaultState>,
 }
 
 /// One shard-boundary attachment: the local half of a cut inter-router
@@ -287,6 +292,7 @@ impl Noc {
             cycle: 0,
             stats: NocStats::new(n_links),
             scratch: TickScratch::default(),
+            fault: None,
         }
     }
 
@@ -348,6 +354,78 @@ impl Noc {
     /// zero).
     pub fn be_overflows(&self) -> u64 {
         self.routers.iter().map(Router::be_overflows).sum()
+    }
+
+    // ---- Fault injection (see `crate::fault`) ------------------------
+
+    /// Arms `plan` on this network. From the first cycle of any event
+    /// window onward, the emit phase filters emissions and BE credit
+    /// returns through the plan; outside the windows the armed hooks cost
+    /// one comparison per cycle. Arming (even an empty plan) marks the
+    /// network faulted, which conservatively declines all fast-forward
+    /// certification until [`Noc::disarm_faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already armed (disarm first — replacing a live
+    /// plan silently would break deterministic replay).
+    pub fn arm_faults(&mut self, plan: &crate::fault::FaultPlan) {
+        assert!(self.fault.is_none(), "a fault plan is already armed");
+        self.fault = Some(crate::fault::FaultState::arm(plan));
+    }
+
+    /// Arms only the events of `plan` whose router is in the **sorted**
+    /// `owned` list — how a sharded system distributes one plan across its
+    /// regions so every event runs on exactly one shard, with the same
+    /// per-event generator seeds as a monolithic arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already armed.
+    pub fn arm_faults_for(&mut self, plan: &crate::fault::FaultPlan, owned: &[RouterId]) {
+        assert!(self.fault.is_none(), "a fault plan is already armed");
+        self.fault = Some(crate::fault::FaultState::arm_for(plan, owned));
+    }
+
+    /// Drops the armed fault machinery (scheduled windows, generator
+    /// state and health counters), returning the network to the unarmed
+    /// hot path and re-enabling fast-forward eligibility.
+    pub fn disarm_faults(&mut self) {
+        self.fault = None;
+    }
+
+    /// Whether fault machinery is armed — `true` from [`Noc::arm_faults`]
+    /// until [`Noc::disarm_faults`], even when every window has expired
+    /// (the conservative fast-forward gate).
+    pub fn fault_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Builds the detection report: the armed events' per-link health
+    /// counters (links that dropped, corrupted or starved traffic, plus
+    /// still-open windows) and the routers' GT watchdog counters.
+    /// Credit-loss events are remapped to the upstream producer's directed
+    /// link — the link a healer must route around. NI-side drop counts are
+    /// folded in by the system layer (`aethereal-cfg`).
+    pub fn fault_report(&self) -> crate::fault::FaultReport {
+        let mut report = crate::fault::FaultReport {
+            gt_conflicts: self.gt_conflicts(),
+            gt_orphans: self.routers.iter().map(Router::gt_orphans).sum(),
+            ..Default::default()
+        };
+        if let Some(f) = &self.fault {
+            f.report_into(self.cycle, &mut report, |gr, p| {
+                let lr = self.routers.iter().position(|r| r.id() == gr)?;
+                match self.in_src[lr].get(p as usize).copied().flatten() {
+                    // `in_src` endpoints are shard-local; report global ids.
+                    Some(Endpoint::Router { router, port }) => {
+                        Some((self.routers[router].id(), port))
+                    }
+                    _ => None,
+                }
+            });
+        }
+        report
     }
 
     // ---- Shard boundaries (see `crate::shard`) -----------------------
@@ -550,6 +628,14 @@ impl Noc {
                 noc.ni_links[ln] = std::mem::replace(&mut self.ni_links[gn], NiLink::new(0, 1));
             }
             noc.cycle = self.cycle;
+            // Armed fault events move to the shard owning their router
+            // (ids are global, so no remapping; dynamic state — generator
+            // positions, health counters — travels unchanged). Every shard
+            // stays *armed* even with no local events, so the conservative
+            // fast-forward gate holds across the whole fleet.
+            if let Some(f) = self.fault.as_mut() {
+                noc.fault = Some(f.extract_owned(&piece.routers));
+            }
             // Per-link counters follow their links; scalars stay on shard 0
             // (merging sums shards, so pre-split history must not double).
             let local_edges = piece.topology.edges().len();
@@ -686,6 +772,13 @@ impl Noc {
     /// router.
     pub fn ff_visit(&mut self, v: &mut dyn crate::ff::FfVisit) {
         use crate::ff::{visit_opt_word, visit_word};
+        // Armed faults make the future non-extrapolable (drops are not
+        // periodic, and flaky links are probabilistic): poison any
+        // fast-forward certification outright, independent of the
+        // system-level eligibility gates.
+        if self.fault.is_some() {
+            v.reject();
+        }
         v.counter(&mut self.cycle);
         v.counter(&mut self.stats.cycles);
         v.counter(&mut self.stats.gt_conflicts);
@@ -797,6 +890,15 @@ impl Noc {
         for r in &mut self.routers {
             r.persist(p);
         }
+        // Armed fault machinery: dynamic remainder only (generator
+        // positions, health counters, activation cache). The schedule is
+        // structural — a snapshot of a faulted run restores onto a network
+        // armed with the identical plan, exactly as wiring restores onto
+        // an identically-built topology; unarmed snapshots carry nothing
+        // extra, so pre-fault golden snapshots stay byte-stable.
+        if let Some(f) = &mut self.fault {
+            f.persist(p);
+        }
     }
 
     /// The earliest due cycle across every router's GT calendar (`u64::MAX`
@@ -838,6 +940,15 @@ impl Clocked for Noc {
     fn emit(&mut self) {
         let cycle = self.cycle;
         debug_assert!(self.scratch.credit_returns.is_empty());
+        // Armed faults: one comparison per cycle decides whether any event
+        // window is open; only then does the per-router filter run. The
+        // filter acts here — before emissions reach a wire, boundary
+        // register or arena ring — so a fault on a cut wire is identical
+        // monolithic or sharded: the exchange simply never sees the word.
+        let fault_active = match &mut self.fault {
+            Some(f) => f.begin_cycle(cycle),
+            None => false,
+        };
         // Fused: boundary traffic goes straight into the arena rings (the
         // handle is moved out for the phase so boundary state stays
         // borrowable).
@@ -846,6 +957,12 @@ impl Clocked for Noc {
         for r in 0..self.routers.len() {
             let mut result = std::mem::take(&mut self.scratch.emit);
             self.routers[r].emit_into(cycle, &mut result);
+            if fault_active {
+                let rid = self.routers[r].id();
+                if let Some(f) = &mut self.fault {
+                    f.filter(rid, cycle, &mut result);
+                }
+            }
             for e in &result.emissions {
                 if let Some(l) = self.out_link[r][e.port as usize] {
                     debug_assert!(self.links[l].wire.is_none());

@@ -198,10 +198,26 @@ impl PersistVisit for StateLoader {
 
     fn len(&mut self, _cur: usize) -> usize {
         match self.next() {
-            Some(n) => usize::try_from(n).unwrap_or_else(|_| {
-                self.fail("snapshot length does not fit usize");
-                0
-            }),
+            Some(n) => {
+                // Every element of a recorded collection consumes at least
+                // one stream item, so a legitimate length can never exceed
+                // what is left. Rejecting larger values here keeps a
+                // corrupted or malicious snapshot from driving a huge
+                // `Vec::resize` (memory exhaustion) before the element walk
+                // would notice the underrun.
+                let remaining = (self.items.len() - self.at) as u64;
+                if n > remaining {
+                    self.fail(
+                        "snapshot length exceeds remaining items \
+                         (truncated or corrupt snapshot)",
+                    );
+                    return 0;
+                }
+                usize::try_from(n).unwrap_or_else(|_| {
+                    self.fail("snapshot length does not fit usize");
+                    0
+                })
+            }
             None => 0,
         }
     }
@@ -402,6 +418,17 @@ mod tests {
         let mut a = 0u64;
         loader.item(&mut a);
         assert!(loader.finish().is_err(), "leftover item must be an error");
+    }
+
+    #[test]
+    fn loader_rejects_oversized_lengths_without_allocating() {
+        // A corrupt stream claiming a huge collection must fail
+        // structurally instead of attempting a giant `resize`.
+        let mut v: Vec<u64> = vec![1, 2];
+        let mut loader = StateLoader::new(vec![u64::MAX, 1, 2]);
+        persist_u64_list(&mut v, &mut loader);
+        assert!(v.is_empty(), "rejected length resizes to zero, not huge");
+        assert!(loader.finish().is_err());
     }
 
     #[test]

@@ -423,13 +423,33 @@ impl Router {
                 Some(out) => ready |= 1 << out,
                 // A header at the head is an arbitration candidate for the
                 // output its (possibly rewritten) path names.
-                None => {
-                    if let Some((next, _, _)) = self.be_candidate(input) {
-                        if usize::from(next) < self.n_ports {
-                            ready |= 1 << next;
+                None => match self.be_candidate(input) {
+                    Some((next, _, _)) if usize::from(next) < self.n_ports => {
+                        ready |= 1 << next;
+                    }
+                    // Unforwardable head (only possible under an injected
+                    // fault): a header whose corrupted path names a port
+                    // this router does not have, an exhausted header whose
+                    // continuation names none, or an orphan continuation
+                    // whose header was lost upstream. Discard one word per
+                    // cycle, returning its queue slot's credit upstream,
+                    // so the input does not stall forever. An exhausted
+                    // non-tail header still waiting for its continuation
+                    // word is the one legitimate `None`: leave it.
+                    Some(_) => {
+                        self.be_q[input].pop_front();
+                        result.be_dequeues.push(input as PortIdx);
+                    }
+                    None => {
+                        let &head = self.be_q[input].front().expect("non-empty checked");
+                        let gateway_wait =
+                            head.is_header() && !head.is_tail() && self.be_q[input].len() < 2;
+                        if !gateway_wait {
+                            self.be_q[input].pop_front();
+                            result.be_dequeues.push(input as PortIdx);
                         }
                     }
-                }
+                },
             }
         }
         let mut rest = ready;
@@ -459,16 +479,22 @@ impl Router {
             }
             // 2. A BE worm already owning this output continues.
             if let Some(input) = self.be_owner[out] {
-                if self.out_credits[out] == 0 {
-                    continue;
-                }
                 if let Some(&head) = self.be_q[input].front() {
-                    debug_assert!(
-                        !head.is_header(),
-                        "new header at head while worm in flight on router {} input {}",
-                        self.id,
-                        input
-                    );
+                    if head.is_header() {
+                        // A fresh header at the head while the worm is
+                        // mid-flight means the worm's tail was lost on the
+                        // upstream link (only possible under an injected
+                        // link fault). Retire the stale worm so the header
+                        // re-arbitrates instead of being forwarded into the
+                        // dead worm's path; the truncated packet surfaces
+                        // downstream as NI `rx_drops`.
+                        self.be_owner[out] = None;
+                        self.be_route[input] = None;
+                        continue;
+                    }
+                    if self.out_credits[out] == 0 {
+                        continue;
+                    }
                     self.be_q[input].pop_front();
                     self.out_credits[out] -= 1;
                     if head.is_tail() {
@@ -559,13 +585,22 @@ impl Router {
                     (out, rewritten)
                 } else if word.is_header() {
                     match Path::peek_encoded(word.word()) {
-                        Some(out) => {
+                        Some(out) if usize::from(out) < self.n_ports => {
                             let shifted = word.with_word(Path::shift_header(word.word()));
                             self.gt_pad[input] = 0;
                             if !word.is_tail() {
                                 self.gt_route[input] = Some(out);
                             }
                             (out, shifted)
+                        }
+                        Some(_) => {
+                            // A (corrupted) path naming a port this router
+                            // does not have: misrouted, drop and count. Any
+                            // continuation words follow via the orphan path
+                            // below.
+                            self.gt_pad[input] = 0;
+                            self.gt_orphans += 1;
+                            return;
                         }
                         None if !word.is_tail() => {
                             // Path exhausted with more words behind: this

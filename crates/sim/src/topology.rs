@@ -254,6 +254,12 @@ pub struct Topology {
     ni_attach: Vec<(RouterId, PortIdx)>,
     /// Optional region/gateway declaration steering long-route splits.
     regions: Option<Regions>,
+    /// Failed-link mask: bit `p` of `link_mask[r]` marks the directed link
+    /// leaving router `r` through port `p` as unusable, and the planners
+    /// route around it (see [`Topology::mask_link`]). All-zero (the
+    /// default) leaves every routing decision bit-identical to a maskless
+    /// topology.
+    link_mask: Vec<u64>,
 }
 
 /// Error computing a route.
@@ -356,6 +362,7 @@ impl Topology {
             edges,
             ni_attach,
             regions: None,
+            link_mask: vec![0; n],
         }
     }
 
@@ -385,6 +392,7 @@ impl Topology {
             edges,
             ni_attach,
             regions: None,
+            link_mask: vec![0; routers],
         }
     }
 
@@ -399,12 +407,14 @@ impl Topology {
         edges: Vec<RouterEdge>,
         ni_attach: Vec<(RouterId, PortIdx)>,
     ) -> Self {
+        let link_mask = vec![0; router_ports.len()];
         let t = Topology {
             kind: TopologyKind::Custom,
             router_ports,
             edges,
             ni_attach,
             regions: None,
+            link_mask,
         };
         t.validate();
         t
@@ -480,6 +490,80 @@ impl Topology {
             .position(|&(rr, pp)| rr == r && pp == p)
     }
 
+    // ---- Failed-link mask ------------------------------------------------
+
+    /// Marks the directed link leaving `router` through `port` as failed:
+    /// [`Topology::route`] and [`Topology::route_any`] plan around it from
+    /// now on. Masking an ejection (NI-facing) port makes the attached NI
+    /// unreachable; NI *injection* links are not router outputs and cannot
+    /// be masked.
+    ///
+    /// While any mask bit is set, every topology kind routes by
+    /// breadth-first shortest path over the unmasked links. Detours stay
+    /// shortest-path in the degraded graph, but a mesh loses the XY turn
+    /// restriction — re-certify GT schedules after re-planning (see
+    /// `aethereal-verify`) and treat BE deadlock-freedom as a degraded-mode
+    /// concern, as the paper's small configurations do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` or `port` is out of range, or if the router has
+    /// more than 64 ports (the mask is one bit per port).
+    pub fn mask_link(&mut self, router: RouterId, port: PortIdx) {
+        assert!(router < self.router_count(), "router {router} out of range");
+        assert!(
+            (port as usize) < self.router_ports[router],
+            "port {port} out of range on router {router}"
+        );
+        assert!(self.router_ports[router] <= 64, "mask holds 64 ports");
+        self.link_mask[router] |= 1 << port;
+    }
+
+    /// Clears the failed mark on `(router, port)`.
+    pub fn unmask_link(&mut self, router: RouterId, port: PortIdx) {
+        if let Some(m) = self.link_mask.get_mut(router) {
+            *m &= !(1u64 << port);
+        }
+    }
+
+    /// Masks every output of `router` — the whole router is failed (e.g. a
+    /// stalled output stage).
+    pub fn mask_router(&mut self, router: RouterId) {
+        for p in 0..self.router_ports[router] {
+            self.mask_link(router, p as PortIdx);
+        }
+    }
+
+    /// Clears the entire failed-link mask, restoring pristine routing.
+    pub fn clear_link_mask(&mut self) {
+        self.link_mask.iter_mut().for_each(|m| *m = 0);
+    }
+
+    /// Whether the directed link leaving `(router, port)` is masked.
+    pub fn is_masked(&self, router: RouterId, port: PortIdx) -> bool {
+        self.link_mask
+            .get(router)
+            .is_some_and(|m| m & (1 << port) != 0)
+    }
+
+    /// Whether any link is currently masked.
+    pub fn has_masked_links(&self) -> bool {
+        self.link_mask.iter().any(|&m| m != 0)
+    }
+
+    /// Every masked `(router, port)` pair, in router-major order.
+    pub fn masked_links(&self) -> Vec<(RouterId, PortIdx)> {
+        let mut out = Vec::new();
+        for (r, &m) in self.link_mask.iter().enumerate() {
+            for p in 0..self.router_ports[r] {
+                if m & (1 << p) != 0 {
+                    out.push((r, p as PortIdx));
+                }
+            }
+        }
+        out
+    }
+
     /// Computes the source route from NI `from` to NI `to`, including the
     /// final ejection hop.
     ///
@@ -498,13 +582,28 @@ impl Topology {
         let (tr, tp) = self
             .ni_attachment(to)
             .ok_or(RouteError::UnknownNi { ni: to })?;
-        let mut hops: Vec<PortIdx> = match self.kind {
+        let mut hops = self.plan_hops(fr, tr)?;
+        if self.is_masked(tr, tp) {
+            // The ejection link into the destination NI is failed.
+            return Err(RouteError::Unreachable { from: fr, to: tr });
+        }
+        hops.push(tp);
+        Ok(Path::new(&hops)?)
+    }
+
+    /// The minimal router-to-router hop list, honouring the failed-link
+    /// mask: maskless topologies use the kind-specific planner unchanged
+    /// (bit-identical to the pre-mask behaviour); any set mask bit switches
+    /// every kind to BFS shortest paths over the unmasked links.
+    fn plan_hops(&self, fr: RouterId, tr: RouterId) -> Result<Vec<PortIdx>, RouteError> {
+        if self.has_masked_links() {
+            return self.bfs_hops(fr, tr);
+        }
+        Ok(match self.kind {
             TopologyKind::Mesh { width, .. } => Self::xy_hops(fr, tr, width),
             TopologyKind::Ring { routers } => Self::ring_hops(fr, tr, routers),
             TopologyKind::Custom => self.bfs_hops(fr, tr)?,
-        };
-        hops.push(tp);
-        Ok(Path::new(&hops)?)
+        })
     }
 
     /// Attaches a validated region/gateway declaration (builder form).
@@ -559,11 +658,11 @@ impl Topology {
         let (tr, tp) = self
             .ni_attachment(to)
             .ok_or(RouteError::UnknownNi { ni: to })?;
-        let mut hops: Vec<PortIdx> = match self.kind {
-            TopologyKind::Mesh { width, .. } => Self::xy_hops(fr, tr, width),
-            TopologyKind::Ring { routers } => Self::ring_hops(fr, tr, routers),
-            TopologyKind::Custom => self.bfs_hops(fr, tr)?,
-        };
+        let mut hops = self.plan_hops(fr, tr)?;
+        if self.is_masked(tr, tp) {
+            // The ejection link into the destination NI is failed.
+            return Err(RouteError::Unreachable { from: fr, to: tr });
+        }
         hops.push(tp);
         if hops.len() <= MAX_HOPS {
             return Ok(Route::single(Path::new(&hops)?));
@@ -647,6 +746,9 @@ impl Topology {
         q.push_back(from);
         while let Some(r) = q.pop_front() {
             for p in 0..self.router_ports[r] {
+                if self.is_masked(r, p as PortIdx) {
+                    continue;
+                }
                 if let Some((nr, _)) = self.neighbour(r, p as PortIdx) {
                     if !seen[nr] {
                         seen[nr] = true;
@@ -846,6 +948,87 @@ mod tests {
             t.route(0, 99).unwrap_err(),
             RouteError::UnknownNi { ni: 99 }
         );
+    }
+
+    #[test]
+    fn mask_reroutes_mesh_same_length() {
+        let mut t = Topology::mesh(2, 2, 1);
+        let pristine: Vec<_> = t.route(0, 3).unwrap().iter().collect();
+        assert_eq!(pristine, vec![dir::EAST, dir::SOUTH, dir::LOCAL0]);
+        t.mask_link(0, dir::EAST);
+        let detour: Vec<_> = t.route(0, 3).unwrap().iter().collect();
+        assert_eq!(
+            detour,
+            vec![dir::SOUTH, dir::EAST, dir::LOCAL0],
+            "detour takes the equal-length unmasked corner"
+        );
+        // route_any agrees with route on the masked graph.
+        let any = t.route_any(0, 3).unwrap();
+        assert_eq!(any.segments().len(), 1);
+        assert_eq!(any.segments()[0].iter().collect::<Vec<_>>(), detour);
+    }
+
+    #[test]
+    fn unmask_restores_pristine_routing_bit_identically() {
+        let mut t = Topology::mesh(3, 3, 1);
+        let before = t.route(0, 8).unwrap();
+        t.mask_link(0, dir::EAST);
+        assert_ne!(t.route(0, 8).unwrap().iter().collect::<Vec<_>>()[0], {
+            let h: Vec<_> = before.iter().collect();
+            h[0]
+        });
+        t.unmask_link(0, dir::EAST);
+        assert!(!t.has_masked_links());
+        assert_eq!(
+            t.route(0, 8).unwrap().iter().collect::<Vec<_>>(),
+            before.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mask_cuts_make_destination_unreachable() {
+        let mut t = Topology::mesh(2, 2, 1);
+        t.mask_link(0, dir::EAST);
+        t.mask_link(0, dir::SOUTH);
+        assert!(matches!(
+            t.route(0, 3),
+            Err(RouteError::Unreachable { from: 0, to: 3 })
+        ));
+        // Other pairs still plan (around the dead corner where needed).
+        assert!(t.route(1, 3).is_ok());
+    }
+
+    #[test]
+    fn masked_ejection_port_is_unreachable() {
+        let mut t = Topology::mesh(2, 2, 1);
+        t.mask_link(3, dir::LOCAL0);
+        assert!(matches!(
+            t.route(0, 3),
+            Err(RouteError::Unreachable { from: 0, to: 3 })
+        ));
+        assert!(matches!(
+            t.route_any(0, 3),
+            Err(RouteError::Unreachable { from: 0, to: 3 })
+        ));
+    }
+
+    #[test]
+    fn mask_router_blacks_out_every_output() {
+        let mut t = Topology::mesh(3, 3, 1);
+        t.mask_router(4); // centre router of the 3x3
+        assert_eq!(t.masked_links().len(), t.ports_of(4));
+        // 0 → 8 must now avoid the centre entirely.
+        let p = t.route(0, 8).unwrap();
+        let mut r = 0;
+        for hop in p.iter() {
+            assert_ne!(r, 4, "route crosses the failed router");
+            match t.neighbour(r, hop) {
+                Some((nr, _)) => r = nr,
+                None => break,
+            }
+        }
+        t.clear_link_mask();
+        assert!(!t.has_masked_links());
     }
 
     #[test]

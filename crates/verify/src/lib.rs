@@ -40,4 +40,6 @@ pub mod bounds;
 pub mod schedule;
 
 pub use bounds::{gt_bounds, GtBounds};
-pub use schedule::{certify, certify_system, Certificate, CertifiedFlow, FlowId, Violation};
+pub use schedule::{
+    certify, certify_system, certify_system_with, Certificate, CertifiedFlow, FlowId, Violation,
+};

@@ -193,6 +193,17 @@ pub enum Violation {
         /// Words a minimal useful packet needs.
         needed_words: usize,
     },
+    /// The route crosses a directed link the topology has masked as
+    /// failed — a connection the healer missed (or a stale route from
+    /// before the heal).
+    MaskedLinkUse {
+        /// The offending flow.
+        flow: FlowId,
+        /// Router whose masked output the route crosses.
+        router: usize,
+        /// The masked output port.
+        port: usize,
+    },
     /// The `Space` counter exceeds the remote destination queue, so
     /// end-to-end flow control cannot prevent overflow.
     CreditOverrun {
@@ -262,6 +273,10 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "{flow}: packet budget of {budget_words} words cannot carry a {needed_words}-word minimal packet"
+            ),
+            Violation::MaskedLinkUse { flow, router, port } => write!(
+                f,
+                "{flow}: route crosses masked (failed) link (router {router}, port {port})"
             ),
             Violation::CreditOverrun {
                 flow,
@@ -535,6 +550,18 @@ pub fn certify<'a>(
                     });
                 }
             }
+            // No flow — GT or BE — may cross a link masked as failed.
+            if topo.has_masked_links() {
+                for link in topo.links_of_route_segmented(im.ni, &raw.route) {
+                    if link.router != usize::MAX && topo.is_masked(link.router, link.port) {
+                        violations.push(Violation::MaskedLinkUse {
+                            flow,
+                            router: link.router,
+                            port: usize::from(link.port),
+                        });
+                    }
+                }
+            }
             let Some(dst) = by_id.get(&dst_ni) else {
                 violations.push(Violation::UnknownDestination { flow, dst_ni });
                 continue;
@@ -659,4 +686,23 @@ pub fn certify<'a>(
 pub fn certify_system(spec: &NocSpec, sys: &NocSystem) -> Result<Certificate, Vec<Violation>> {
     let topo = spec.topology.build();
     certify(&topo, sys.nis.iter().map(|ni| &ni.kernel))
+}
+
+/// Certifies a [`NocSystem`] against a caller-supplied topology — the
+/// post-heal entry point: pass the
+/// [`RuntimeConfigurator::topo`](aethereal_cfg::RuntimeConfigurator::topo)
+/// that carries the failed-link mask, and certification additionally
+/// proves that no configured route (user *or* configuration channel)
+/// still crosses a masked link.
+///
+/// With an unmasked topology this is exactly [`certify_system`].
+///
+/// # Errors
+///
+/// Returns the full list of [`Violation`]s when any check fails.
+pub fn certify_system_with(
+    topo: &Topology,
+    sys: &NocSystem,
+) -> Result<Certificate, Vec<Violation>> {
+    certify(topo, sys.nis.iter().map(|ni| &ni.kernel))
 }

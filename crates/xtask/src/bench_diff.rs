@@ -334,7 +334,7 @@ mod tests {
     #[test]
     fn parses_real_bench_file_shape() {
         let root = crate::repo_root();
-        let text = fs::read_to_string(root.join("BENCH_pr7.json")).expect("baseline exists");
+        let text = fs::read_to_string(root.join("BENCH_pr8.json")).expect("baseline exists");
         let records = parse_records(&text).expect("baseline parses");
         assert!(records.len() > 30, "found {} records", records.len());
         assert!(records.iter().all(|r| r.median_ns > 0.0));

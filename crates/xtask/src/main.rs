@@ -76,7 +76,9 @@ const CYCLE_LOOP_FILES: &[&str] = &[
 const PERSIST_AUDIT: &[(&str, &str, usize)] = &[
     ("sim/src/rng.rs", "Rng64", 1),
     ("sim/src/router.rs", "Router", 16),
-    ("sim/src/noc.rs", "Noc", 15),
+    ("sim/src/noc.rs", "Noc", 16),
+    ("sim/src/fault.rs", "FaultState", 2),
+    ("sim/src/fault.rs", "ArmedFault", 6),
     ("sim/src/shard.rs", "ShardRunner", 12),
     ("sim/src/shard.rs", "WireSlot", 3),
     ("core/src/fifo.rs", "HwFifo", 5),
